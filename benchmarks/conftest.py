@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its experiment exactly once per session
+(``benchmark.pedantic`` with one round): the experiments are deterministic
+simulations, so statistical repetition adds nothing but wall time.  Each
+prints the table the paper's figure corresponds to and asserts the *shape*
+claims (who wins, direction of trends), never absolute seconds.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment function once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return _run

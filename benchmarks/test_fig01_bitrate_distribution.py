@@ -1,0 +1,16 @@
+"""Fig. 1 — compression bit-rate distribution over 512 partitions."""
+
+from repro.bench.figures import fig01_bitrate_distribution
+from repro.bench.harness import save_result
+
+
+def test_fig01(run_once):
+    res = run_once(fig01_bitrate_distribution, nranks=512, shape=(96, 96, 96))
+    save_result(res)
+    # Paper's point: one configuration yields a *wide* spread of bit-rates
+    # across partitions, defeating naive pre-allocation.
+    assert res.meta["spread"] > 1.5
+    assert sum(r["partitions"] for r in res.rows) == 512
+    # The histogram is not a single spike.
+    occupied = sum(1 for r in res.rows if r["partitions"] > 0)
+    assert occupied >= 5

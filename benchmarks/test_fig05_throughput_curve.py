@@ -1,0 +1,29 @@
+"""Fig. 5 — single-core compression throughput vs bit-rate."""
+
+import numpy as np
+
+from repro.bench.figures import fig05_throughput_curve
+from repro.bench.harness import save_result
+
+
+def test_fig05(run_once):
+    res = run_once(fig05_throughput_curve)
+    save_result(res)
+    lo, hi = res.meta["band_lo_MBps"], res.meta["band_hi_MBps"]
+    # Paper Fig. 5 observations: (1) throughput bounded in a common band
+    # (~100-250 MB/s) across samples; (2) per-sample curves decrease with
+    # bit-rate consistently.  Our calibration samples are much smaller than
+    # the paper's 67 MB, so Huffman-tree build overhead drags the extreme
+    # high-bit-rate points below the asymptotic Cmin — allow that sag.
+    for row in res.rows:
+        assert 0.3 * lo < row["throughput_MBps"] < 1.3 * hi
+        if row["bit_rate"] < 12:
+            assert 0.5 * lo < row["throughput_MBps"]
+    for sample in {r["sample"] for r in res.rows}:
+        pts = sorted(
+            ((r["bit_rate"], r["throughput_MBps"]) for r in res.rows if r["sample"] == sample)
+        )
+        b = np.array([p[0] for p in pts])
+        t = np.array([p[1] for p in pts])
+        # Allow noise: overall trend (rank correlation) must be negative.
+        assert np.corrcoef(b, t)[0, 1] < -0.3

@@ -1,0 +1,18 @@
+"""Fig. 6 — min/max compression throughput across 30 data samples."""
+
+from repro.bench.figures import fig06_minmax_throughput
+from repro.bench.harness import save_result
+
+
+def test_fig06(run_once):
+    res = run_once(fig06_minmax_throughput, n_samples=30)
+    save_result(res)
+    # Paper: "the maximum and minimum compression throughput are similarly
+    # bounded across different data samples (about 120-250 MB/s)".  Our
+    # samples are far smaller than the paper's 67.1 MB, so Huffman-tree
+    # build overhead depresses the minima somewhat; the clustering claims
+    # are what must hold.
+    assert res.meta["min_spread"] < 2.0  # sample minima cluster
+    assert res.meta["max_spread"] < 2.0  # sample maxima cluster
+    assert 20 < res.meta["global_min"] < 200
+    assert 150 < res.meta["global_max"] < 400

@@ -1,0 +1,16 @@
+"""Fig. 7 — per-process independent-write throughput vs request size."""
+
+from repro.bench.figures import fig07_write_throughput
+from repro.bench.harness import save_result
+
+
+def test_fig07(run_once):
+    res = run_once(fig07_write_throughput, nprocs=128)
+    save_result(res)
+    means = [r["mean_MBps"] for r in res.rows]
+    # Paper: "the average throughput first increases as the data size
+    # increases and stabilizes after the data size reaches a certain point".
+    assert means == sorted(means)
+    assert means[-1] / means[0] > 2.0  # clear ramp from small to large
+    # Stabilization: the last two sizes are within 20% of each other.
+    assert means[-1] / means[-2] < 1.2

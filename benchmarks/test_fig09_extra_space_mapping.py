@@ -1,0 +1,18 @@
+"""Fig. 9 — mapping a performance/storage weight to an extra-space ratio."""
+
+from repro.bench.figures import fig09_extra_space_mapping
+from repro.bench.harness import save_result
+
+
+def test_fig09(run_once):
+    res = run_once(fig09_extra_space_mapping)
+    save_result(res)
+    rows = res.rows
+    # Supported interval [1.1, 1.43] (paper Section III-D), monotone, with
+    # the default 1.25 reachable near the balanced weight.
+    assert rows[0]["extra_space_ratio"] == 1.1
+    assert abs(rows[-1]["extra_space_ratio"] - 1.43) < 1e-9
+    ratios = [r["extra_space_ratio"] for r in rows]
+    assert ratios == sorted(ratios)
+    mid = min(rows, key=lambda r: abs(r["performance_weight"] - 0.5))
+    assert abs(mid["extra_space_ratio"] - 1.25) < 0.04

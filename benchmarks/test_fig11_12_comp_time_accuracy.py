@@ -1,0 +1,27 @@
+"""Figs. 11-12 — compression-time prediction accuracy (+ transfer)."""
+
+from repro.bench.figures import (
+    fig11_compression_time_accuracy,
+    fig12_compression_time_transfer,
+)
+from repro.bench.harness import save_result
+
+
+def test_fig11(run_once):
+    res = run_once(fig11_compression_time_accuracy)
+    save_result(res)
+    # Calibrated on baryon density only, evaluated on every field: the
+    # prediction should land close to the (noisy) actual times.
+    assert res.meta["median_rel_error"] < 0.15
+    assert res.meta["p90_rel_error"] < 0.35
+    fitted = res.meta["fitted"]
+    assert fitted["a"] < 0
+    assert fitted["cmin"] < fitted["cmax"]
+
+
+def test_fig12_transfer(run_once):
+    res = run_once(fig12_compression_time_transfer)
+    save_result(res)
+    # Paper Fig. 12: parameters from the small snapshot still predict the
+    # large snapshot's compression times accurately.
+    assert res.meta["median_rel_error"] < 0.20

@@ -1,0 +1,17 @@
+"""Fig. 15 — overhead consistency across simulation time-steps."""
+
+from repro.bench.figures import fig15_timestep_consistency
+from repro.bench.harness import save_result
+
+
+def test_fig15(run_once):
+    res = run_once(fig15_timestep_consistency, nranks=128)
+    save_result(res)
+    lo, hi = res.meta["storage_range"]
+    # Paper: with the fixed default Rspace=1.25 the storage overhead stays
+    # consistent across time-steps (no blow-up as structure grows).
+    assert hi - lo < 0.35
+    assert all(r["storage_overhead"] < 1.0 for r in res.rows)
+    # Redshifts decrease along the series (time moves forward).
+    zs = [r["redshift"] for r in res.rows]
+    assert zs == sorted(zs, reverse=True)

@@ -1,0 +1,28 @@
+"""Fig. 16 — time breakdown of the four write solutions (the headline)."""
+
+from repro.bench.figures import fig16_breakdown
+from repro.bench.harness import save_result
+
+
+def test_fig16(run_once):
+    res = run_once(fig16_breakdown, nranks=512)
+    save_result(res)
+    m = res.meta
+    # Ordering claims of paper Section IV-D, as shapes:
+    #   collective-write-with-compression beats non-compression write,
+    assert m["speedup_filter_vs_nocomp"] > 1.3  # paper: 1.87x
+    #   overlapping beats the filter baseline,
+    assert m["speedup_overlap_vs_filter"] > 1.3  # paper: 1.79x
+    #   reordering does not hurt and usually helps,
+    assert m["speedup_reorder_vs_overlap"] > 0.98  # paper: 1.30x
+    #   end to end the paper reports 4.46x over non-compression.
+    assert 3.0 < m["speedup_reorder_vs_nocomp"] < 6.5
+    # Compression time is solution-invariant (framework improves *writing*).
+    rows = {r["solution"]: r for r in res.rows}
+    assert abs(rows["filter"]["compress_s"] - rows["reorder"]["compress_s"]) < 0.1 * rows[
+        "filter"
+    ]["compress_s"]
+    # Extra space costs little relative to the original data (paper: 1.5%).
+    assert m["storage_overhead_vs_original"] < 0.08
+    # Effective ratio sits below the ideal ratio (paper: 14.13 vs 17.94).
+    assert m["effective_ratio"] < m["ideal_ratio"]

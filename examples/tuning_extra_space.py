@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Tuning the extra-space ratio: the paper's Fig. 9 / Fig. 14 workflow.
+
+The extra-space ratio Rspace is the framework's one user-facing knob:
+bigger slots waste storage but absorb prediction error (fewer overflows,
+less write-time penalty).  This example
+
+1. sweeps Rspace over the supported interval [1.1, 1.43] on a simulated
+   256-process Summit run and prints the overhead trade-off curve,
+2. shows the weight-based shortcut (`PipelineConfig.from_weight`) that maps
+   a single performance-vs-storage preference onto the interval.
+
+Run:  python examples/tuning_extra_space.py
+"""
+
+from repro.core import PipelineConfig, build_workload, simulate_strategy
+from repro.core.config import extra_space_for_weight
+from repro.core.workload import scale_workload
+from repro.sim import SUMMIT
+
+
+def main() -> None:
+    wl = build_workload(
+        "nyx", nranks=8, shape=(64, 64, 64), seed=5,
+        bound_scale=4.0,  # ~bit-rate 2, the paper's operating point
+        include_particles=True,
+    )
+    wl = scale_workload(wl, nranks=256, values_per_partition=256**3)
+    print(f"workload: 256 simulated Summit processes, 9 fields, "
+          f"ratio {wl.overall_ratio:.1f}x (bit-rate {wl.overall_bit_rate:.2f})\n")
+
+    print(f"{'Rspace':>7s} {'write overhead':>15s} {'storage overhead':>17s} "
+          f"{'overflowing partitions':>23s}")
+    for rspace in (1.1, 1.15, 1.2, 1.25, 1.3, 1.35, 1.43):
+        config = PipelineConfig(extra_space_ratio=rspace)
+        res = simulate_strategy("reorder", wl, SUMMIT, config)
+        ref = simulate_strategy("reorder", wl, SUMMIT, config, handle_overflow=False)
+        perf = max(0.0, (res.write_seconds - ref.write_seconds) / ref.write_seconds)
+        frac = res.n_overflow_partitions / (res.nranks * res.nfields)
+        print(f"{rspace:7.2f} {perf:14.1%} {res.storage_overhead_vs_ideal:16.1%} "
+              f"{frac:22.1%}")
+
+    print("\nweight-based shortcut (performance weight -> Rspace):")
+    for w in (0.0, 0.25, 0.5, 0.75, 1.0):
+        print(f"  weight {w:.2f} -> Rspace {extra_space_for_weight(w):.3f}")
+    print("\nPipelineConfig.from_weight(0.5) ->",
+          PipelineConfig.from_weight(0.5).extra_space_ratio)
+
+
+if __name__ == "__main__":
+    main()

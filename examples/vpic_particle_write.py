@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""VPIC particle dump write with per-field compression diversity.
+
+Particle dumps stress the predictive pipeline differently from mesh data:
+positions and weights compress 50-300x while momenta manage only ~5x, so
+per-partition size predictions span two orders of magnitude and the
+compression-order optimizer has real work to do.
+
+The example writes a synthetic dump from 8 ranks through the predictive
+pipeline, shows each rank's optimized field order, and verifies the shared
+file against the per-field error bounds.
+
+Run:  python examples/vpic_particle_write.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.compression import SZCompressor
+from repro.core import PipelineConfig
+from repro.core.pipeline import predictive_write_pipeline
+from repro.data import VPICGenerator, partition_particles
+from repro.hdf5 import File, FileAccessProps
+from repro.mpi import run_spmd
+
+N_PARTICLES = 1 << 18
+NRANKS = 8
+
+
+def main() -> None:
+    gen = VPICGenerator(N_PARTICLES, seed=11)
+    names = list(gen.field_names)
+    parts = partition_particles(N_PARTICLES, NRANKS)
+    codecs = {n: SZCompressor(bound=gen.error_bound(n), mode="rel") for n in names}
+
+    print(f"VPIC dump: {N_PARTICLES} particles x {len(names)} fields "
+          f"({gen.logical_nbytes() / 1e6:.1f} MB logical)")
+
+    path = os.path.join(tempfile.mkdtemp(prefix="vpic_"), "dump.phd5")
+    f = File(path, "w", fapl=FileAccessProps(async_io=True, async_workers=4))
+
+    def rank_fn(comm):
+        p = parts[comm.rank]
+        local = {n: np.ascontiguousarray(p.extract(gen.field(n))) for n in names}
+        region = [[s.start, s.stop] for s in p.slices]
+        return predictive_write_pipeline(
+            comm, f, local, region, (N_PARTICLES,), codecs,
+            config=PipelineConfig(extra_space_ratio=1.25, reorder=True),
+        )
+
+    stats = run_spmd(NRANKS, rank_fn)
+    f.close()
+
+    print("\nper-rank optimized compression order (big writes first):")
+    for s in stats[:4]:
+        print(f"  rank {s.rank}: {' -> '.join(s.order)}")
+
+    print("\nper-field compression on rank 0:")
+    s0 = stats[0]
+    for n in names:
+        orig = parts[0].n_values * 4
+        print(f"  {n:7s} predicted={s0.predicted_nbytes[n]:8d}B "
+              f"actual={s0.actual_nbytes[n]:8d}B  ratio={orig / s0.actual_nbytes[n]:7.1f}x")
+
+    file_size = os.path.getsize(path)
+    print(f"\nshared file: {file_size / 1e6:.2f} MB "
+          f"(overall ratio {gen.logical_nbytes() / file_size:.1f}x incl. extra space)")
+
+    with File(path, "r") as fr:
+        for n in names:
+            out = fr[f"fields/{n}"].read()
+            field = gen.field(n).astype(np.float64)
+            eb = gen.error_bound(n) * (field.max() - field.min())
+            err = float(np.max(np.abs(out.astype(np.float64) - field)))
+            assert err <= eb * (1 + 1e-6), n
+    print("verified: every field within its relative error bound")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Codec abstraction and registry.
+
+The HDF5-like filter pipeline (:mod:`repro.hdf5.filters`) looks codecs up by
+name, mirroring HDF5's dynamically loaded filters.  Codecs are stateless with
+respect to the data they compress: all tuning lives in constructor arguments,
+so one instance can be shared across ranks/threads.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+
+class Codec(ABC):
+    """Interface implemented by every compressor in the library."""
+
+    #: short registry name, e.g. ``"sz"``; set by subclasses.
+    name: str = "abstract"
+
+    @abstractmethod
+    def compress(self, data: np.ndarray) -> bytes:
+        """Compress an ndarray into a self-describing byte stream."""
+
+    @abstractmethod
+    def decompress(self, stream: bytes) -> np.ndarray:
+        """Reconstruct the array (shape and dtype restored) from a stream."""
+
+    def max_error(self) -> float | None:
+        """Point-wise absolute error guarantee, or None if unbounded."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+_REGISTRY: dict[str, Callable[..., Codec]] = {}
+
+
+def register_codec(name: str) -> Callable[[type], type]:
+    """Class decorator registering a codec factory under ``name``."""
+
+    def deco(cls: type) -> type:
+        if not issubclass(cls, Codec):
+            raise TypeError(f"{cls!r} is not a Codec subclass")
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def get_codec(name: str, **kwargs: object) -> Codec:
+    """Instantiate the codec registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise CompressionError(
+            f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_codecs() -> list[str]:
+    """Sorted list of registered codec names."""
+    return sorted(_REGISTRY)

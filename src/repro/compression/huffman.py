@@ -1,0 +1,285 @@
+"""Canonical Huffman coding over bounded integer alphabets.
+
+SZ entropy-codes quantization symbols with a Huffman coder whose tree size is
+capped by the quantizer radius (the paper leans on this cap to explain the
+*lower* bound on compression throughput, and on tiny trees at high error
+bounds for the *upper* bound).  This module provides:
+
+* :func:`build_code` — Huffman code construction from symbol frequencies,
+  canonicalized (codes assigned in (length, symbol) order) so the table
+  serializes as just the per-symbol lengths;
+* :func:`huffman_encode` — vectorized encoding using
+  :func:`repro.utils.bits.pack_varlen_codes`;
+* :func:`huffman_decode` — table-driven decoding (single-level lookup table
+  for codes up to ``TABLE_BITS`` bits, incremental tree walk for the tail).
+
+Codes are generated MSB-first and stored bit-reversed so the LSB-first
+bitstream yields code bits in natural order — the same trick DEFLATE uses.
+
+If the optimal code for a very skewed distribution exceeds ``MAX_CODE_LEN``
+bits, construction falls back to a fixed-length code over the observed
+alphabet; this keeps the packer's two-word invariant and bounds worst-case
+decode work.  The fallback is lossless, merely suboptimal, and is recorded in
+the serialized table.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CorruptStreamError
+from repro.utils.bits import BitReader, pack_varlen_codes
+
+#: Single-level decode-table width (bits).  4096 entries; codes at or below
+#: this length decode with one lookup.
+TABLE_BITS = 12
+
+#: Hard cap on Huffman code length; above this we fall back to fixed-length.
+MAX_CODE_LEN = 48
+
+_HDR = struct.Struct("<4sBIQ")  # magic, flags, nsyms, nvalues
+_MAGIC = b"HUF1"
+
+
+@dataclass
+class HuffmanCode:
+    """A canonical code: per-symbol lengths plus derived encode/decode tables."""
+
+    lengths: np.ndarray  # uint8 per symbol (0 = symbol absent)
+    codes: np.ndarray  # uint64 per symbol, bit-reversed for LSB-first packing
+    fixed: bool = False  # True if the fixed-length fallback was used
+
+    @property
+    def nsymbols(self) -> int:
+        """Alphabet size (including absent symbols)."""
+        return int(self.lengths.size)
+
+    @property
+    def max_length(self) -> int:
+        """Longest assigned code length (0 for an empty code)."""
+        return int(self.lengths.max()) if self.lengths.size else 0
+
+    def mean_length(self, freqs: np.ndarray) -> float:
+        """Expected code length under the symbol distribution ``freqs``."""
+        total = float(freqs.sum())
+        if total == 0:
+            return 0.0
+        return float((freqs * self.lengths[: freqs.size]).sum()) / total
+
+
+def _reverse_bits(value: int, nbits: int) -> int:
+    """Reverse the low ``nbits`` bits of ``value``."""
+    out = 0
+    for _ in range(nbits):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+def _lengths_from_freqs(freqs: np.ndarray) -> np.ndarray:
+    """Optimal Huffman code lengths for the given frequency vector."""
+    nz = np.flatnonzero(freqs)
+    lengths = np.zeros(freqs.size, dtype=np.uint8)
+    if nz.size == 0:
+        return lengths
+    if nz.size == 1:
+        lengths[nz[0]] = 1
+        return lengths
+    # Standard two-queue-free heap construction.  Entries: (freq, tiebreak,
+    # leaf symbol list is implicit via child links).
+    heap: list[tuple[int, int]] = []  # (freq, node_id)
+    parent: dict[int, int] = {}
+    next_id = int(freqs.size)
+    for s in nz:
+        heapq.heappush(heap, (int(freqs[s]), int(s)))
+    while len(heap) > 1:
+        f1, n1 = heapq.heappop(heap)
+        f2, n2 = heapq.heappop(heap)
+        parent[n1] = next_id
+        parent[n2] = next_id
+        heapq.heappush(heap, (f1 + f2, next_id))
+        next_id += 1
+    for s in nz:
+        depth = 0
+        node = int(s)
+        while node in parent:
+            node = parent[node]
+            depth += 1
+        lengths[s] = depth
+    return lengths
+
+
+def _fixed_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Fixed-length fallback: ceil(log2(#present)) bits for present symbols."""
+    nz = np.flatnonzero(freqs)
+    lengths = np.zeros(freqs.size, dtype=np.uint8)
+    if nz.size == 0:
+        return lengths
+    nbits = max(1, int(np.ceil(np.log2(nz.size))) if nz.size > 1 else 1)
+    lengths[nz] = nbits
+    return lengths
+
+
+def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical (MSB-first) codes, returned bit-reversed per length."""
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    present = np.flatnonzero(lengths)
+    if present.size == 0:
+        return codes
+    order = present[np.lexsort((present, lengths[present]))]
+    code = 0
+    prev_len = int(lengths[order[0]])
+    for sym in order:
+        ln = int(lengths[sym])
+        code <<= ln - prev_len
+        prev_len = ln
+        codes[sym] = _reverse_bits(code, ln)
+        code += 1
+    return codes
+
+
+def build_code(freqs: np.ndarray) -> HuffmanCode:
+    """Construct a canonical Huffman code for frequency vector ``freqs``."""
+    freqs = np.asarray(freqs, dtype=np.int64)
+    if freqs.ndim != 1:
+        raise ValueError("freqs must be one-dimensional")
+    if np.any(freqs < 0):
+        raise ValueError("frequencies must be non-negative")
+    lengths = _lengths_from_freqs(freqs)
+    fixed = False
+    if lengths.size and int(lengths.max()) > MAX_CODE_LEN:
+        lengths = _fixed_lengths(freqs)
+        fixed = True
+    codes = _canonical_codes(lengths)
+    return HuffmanCode(lengths=lengths, codes=codes, fixed=fixed)
+
+
+def serialize_code(code: HuffmanCode, nvalues: int) -> bytes:
+    """Serialize the code table and payload length into a header blob.
+
+    The canonical property means only the lengths array is needed; the
+    decoder rebuilds identical codes.
+    """
+    flags = 1 if code.fixed else 0
+    head = _HDR.pack(_MAGIC, flags, code.nsymbols, nvalues)
+    return head + code.lengths.astype(np.uint8).tobytes()
+
+
+def deserialize_code(blob: bytes) -> tuple[HuffmanCode, int, int]:
+    """Parse a header blob; returns (code, nvalues, bytes_consumed)."""
+    if len(blob) < _HDR.size:
+        raise CorruptStreamError("huffman header truncated")
+    magic, flags, nsyms, nvalues = _HDR.unpack_from(blob, 0)
+    if magic != _MAGIC:
+        raise CorruptStreamError("bad huffman magic")
+    need = _HDR.size + nsyms
+    if len(blob) < need:
+        raise CorruptStreamError("huffman length table truncated")
+    lengths = np.frombuffer(blob, dtype=np.uint8, count=nsyms, offset=_HDR.size).copy()
+    codes = _canonical_codes(lengths)
+    return HuffmanCode(lengths=lengths, codes=codes, fixed=bool(flags & 1)), nvalues, need
+
+
+def huffman_encode(symbols: np.ndarray, nsymbols: int) -> bytes:
+    """Encode ``symbols`` (ints in [0, nsymbols)) into a self-contained blob.
+
+    Layout: header (magic, flags, alphabet size, value count, lengths table),
+    8-byte bit count, packed bitstream.
+    """
+    symbols = np.ascontiguousarray(symbols, dtype=np.int64).ravel()
+    if symbols.size and (symbols.min() < 0 or symbols.max() >= nsymbols):
+        raise ValueError("symbol out of alphabet range")
+    freqs = np.bincount(symbols, minlength=nsymbols)
+    code = build_code(freqs)
+    head = serialize_code(code, symbols.size)
+    if symbols.size == 0:
+        return head + struct.pack("<Q", 0)
+    per_code = code.codes[symbols]
+    per_len = code.lengths[symbols].astype(np.int64)
+    payload, total_bits = pack_varlen_codes(per_code, per_len)
+    return head + struct.pack("<Q", total_bits) + payload
+
+
+def _build_decode_tables(
+    code: HuffmanCode,
+) -> tuple[np.ndarray, np.ndarray, dict[tuple[int, int], int]]:
+    """Build the single-level lookup table plus long-code dictionary.
+
+    ``table_sym[window]``/``table_len[window]`` decode any code of length
+    <= TABLE_BITS in one peek; longer codes fall back to an MSB-first
+    incremental walk through ``long_map[(prefix_value, prefix_len)]``.
+    """
+    size = 1 << TABLE_BITS
+    table_sym = np.full(size, -1, dtype=np.int64)
+    table_len = np.zeros(size, dtype=np.int64)
+    long_map: dict[tuple[int, int], int] = {}
+    for sym in np.flatnonzero(code.lengths):
+        ln = int(code.lengths[sym])
+        rev = int(code.codes[sym])  # LSB-first pattern as it appears in stream
+        if ln <= TABLE_BITS:
+            step = 1 << ln
+            for filler in range(0, size, step):
+                table_sym[rev | filler] = sym
+                table_len[rev | filler] = ln
+        else:
+            msb_value = _reverse_bits(rev, ln)
+            long_map[(msb_value, ln)] = int(sym)
+    return table_sym, table_len, long_map
+
+
+def huffman_decode(blob: bytes) -> tuple[np.ndarray, int]:
+    """Decode a blob produced by :func:`huffman_encode`.
+
+    Returns ``(symbols, bytes_consumed)`` so callers can embed the blob in a
+    larger container.
+    """
+    code, nvalues, off = deserialize_code(blob)
+    if len(blob) < off + 8:
+        raise CorruptStreamError("huffman bit-count field truncated")
+    (total_bits,) = struct.unpack_from("<Q", blob, off)
+    off += 8
+    out = np.empty(nvalues, dtype=np.int64)
+    if nvalues == 0:
+        return out, off
+    payload_bytes = -(-total_bits // 8)
+    reader = BitReader(blob[off : off + payload_bytes + 8], total_bits)
+    table_sym_a, table_len_a, long_map = _build_decode_tables(code)
+    table_sym = table_sym_a.tolist()
+    table_len = table_len_a.tolist()
+    # Hot loop: bind locals for speed; this is the only per-symbol Python
+    # loop in the decompression path.
+    peek = reader.peek
+    skip = reader.skip
+    read = reader.read
+    tbits = TABLE_BITS
+    for i in range(nvalues):
+        window = peek(tbits)
+        sym = table_sym[window]
+        if sym >= 0:
+            skip(table_len[window])
+            out[i] = sym
+            continue
+        # Long code: continue an MSB-first walk past the table width.
+        value = 0
+        for _ in range(tbits):
+            value = (value << 1) | (window & 1)
+            window >>= 1
+        skip(tbits)
+        length = tbits
+        while True:
+            value = (value << 1) | read(1)
+            length += 1
+            hit = long_map.get((value, length))
+            if hit is not None:
+                out[i] = hit
+                break
+            if length > MAX_CODE_LEN + 1:
+                raise CorruptStreamError("invalid huffman bitstream")
+    # The packer emits whole 64-bit words, so round the payload up to that
+    # granularity when reporting consumption.
+    consumed = off + (-(-total_bits // 64)) * 8
+    return out, consumed

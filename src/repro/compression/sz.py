@@ -1,0 +1,272 @@
+"""The SZ-style prediction-based error-bounded lossy compressor.
+
+Pipeline (compression)::
+
+    float array
+      └─ LinearQuantizer      codes  q = round(x / 2eb)        (all loss here)
+          └─ Lorenzo forward  deltas d                          (exact)
+              └─ symbolization  s = d + radius, outliers → ESC  (exact)
+                  └─ Huffman over s                             (exact)
+                      └─ lossless backend (zlib / rle / none)   (exact)
+
+Decompression inverts each stage; reconstruction error is bounded by ``eb``
+point-wise by construction.  Outlier deltas (|d| > radius) are escaped to a
+dedicated symbol and their raw int64 values travel in a side stream, matching
+SZ's "unpredictable data" path — and, as in SZ, a flood of outliers is what
+pins compression throughput at its *lower* bound, while near-degenerate
+symbol distributions at huge error bounds pin the *upper* bound (paper Fig. 5
+discussion).
+
+Stream container layout (little-endian)::
+
+    magic  "SZR1"                      4 bytes
+    header                             fixed struct (see _HEADER)
+    shape                              ndim * uint64
+    lossless-wrapped body:
+        huffman blob  (table + bitstream)
+        outlier values (int64 * n_outliers)
+
+The container is self-describing: :func:`parse_stream_info` recovers sizes
+and parameters without decompressing, which the benchmark harness uses.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.codec import Codec, register_codec
+from repro.compression.huffman import huffman_decode, huffman_encode
+from repro.compression.lossless import lossless_compress, lossless_decompress
+from repro.compression.predictors import LorenzoPredictor, lorenzo_forward, lorenzo_inverse
+from repro.compression.quantizer import LinearQuantizer, QuantizerSpec
+from repro.errors import CompressionError, CorruptStreamError
+
+_MAGIC = b"SZR1"
+# dtype char, ndim, mode char, reserved, abs_bound, requested_bound,
+# radius, n_outliers, body_nbytes
+_HEADER = struct.Struct("<ccccdd4sQQQ")
+
+_DTYPE_TAGS = {np.dtype(np.float32): b"f", np.dtype(np.float64): b"d"}
+_TAG_DTYPES = {v: k for k, v in _DTYPE_TAGS.items()}
+_MODE_TAGS = {"abs": b"a", "rel": b"r"}
+_TAG_MODES = {v: k for k, v in _MODE_TAGS.items()}
+
+#: Default quantizer radius (SZ's default corresponds to 65536 quantization
+#: bins, i.e. radius 32768).
+DEFAULT_RADIUS = 32768
+
+
+@dataclass(frozen=True)
+class SZStreamInfo:
+    """Metadata recovered from a compressed stream without decompression."""
+
+    dtype: np.dtype
+    shape: tuple[int, ...]
+    mode: str
+    abs_bound: float
+    requested_bound: float
+    radius: int
+    n_outliers: int
+    body_nbytes: int
+    total_nbytes: int
+
+    @property
+    def n_values(self) -> int:
+        """Number of array elements in the original data."""
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def original_nbytes(self) -> int:
+        """Size of the uncompressed array in bytes."""
+        return self.n_values * self.dtype.itemsize
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original bytes over stream bytes."""
+        return self.original_nbytes / self.total_nbytes if self.total_nbytes else 0.0
+
+    @property
+    def bit_rate(self) -> float:
+        """Average bits per value in the stream."""
+        return 8.0 * self.total_nbytes / self.n_values if self.n_values else 0.0
+
+
+@register_codec("sz")
+class SZCompressor(Codec):
+    """Prediction-based error-bounded lossy compressor (SZ-style).
+
+    Parameters
+    ----------
+    bound:
+        Error bound value.  Interpreted per ``mode``.
+    mode:
+        ``"abs"`` — point-wise absolute bound; ``"rel"`` — value-range
+        relative bound (``abs = bound * (max - min)``), as in SZ.
+    radius:
+        Quantization-symbol radius; deltas outside ``[-radius, radius)`` are
+        escaped to the outlier stream.  The symbol alphabet has
+        ``2 * radius + 1`` entries (the extra one is the escape symbol).
+    lossless:
+        Final lossless backend: ``"zlib"`` (default), ``"rle"`` or ``"none"``.
+    lossless_level:
+        zlib compression level when the zlib backend is active.
+    """
+
+    def __init__(
+        self,
+        bound: float = 1e-3,
+        mode: str = "rel",
+        radius: int = DEFAULT_RADIUS,
+        lossless: str = "zlib",
+        lossless_level: int = 1,
+    ) -> None:
+        if radius < 2:
+            raise CompressionError("radius must be >= 2")
+        self.quantizer = LinearQuantizer(bound, mode)
+        self.predictor = LorenzoPredictor()
+        self.radius = int(radius)
+        self.lossless = lossless
+        self.lossless_level = int(lossless_level)
+
+    # -- public API ---------------------------------------------------------
+
+    def max_error(self) -> float | None:
+        """Absolute bound for ``abs`` mode; data-dependent for ``rel``."""
+        if self.quantizer.mode == "abs":
+            return self.quantizer.requested_bound
+        return None
+
+    def compress(self, data: np.ndarray) -> bytes:
+        """Compress ``data`` (float32/float64, any rank >= 1)."""
+        if np.asarray(data).ndim < 1:
+            raise CompressionError("scalar input not supported")
+        data = np.ascontiguousarray(data)
+        if data.dtype not in _DTYPE_TAGS:
+            raise CompressionError(f"unsupported dtype {data.dtype}; use float32/float64")
+        spec = self.quantizer.resolve(data)
+        q = self.quantizer.quantize(data, spec)
+        d = self.predictor.forward(q)
+        symbols, outliers = self._symbolize(d)
+        huff = huffman_encode(symbols, 2 * self.radius + 1)
+        body = huff + outliers.astype("<i8").tobytes()
+        wrapped = lossless_compress(body, self.lossless, self.lossless_level)
+        header = _HEADER.pack(
+            _DTYPE_TAGS[data.dtype],
+            bytes((data.ndim,)),
+            _MODE_TAGS[spec.mode],
+            b"\x00",
+            spec.abs_bound,
+            spec.requested_bound,
+            struct.pack("<I", self.radius),
+            len(outliers),
+            len(wrapped),
+            0,
+        )
+        shape_blob = np.asarray(data.shape, dtype="<u8").tobytes()
+        return _MAGIC + header + shape_blob + wrapped
+
+    def decompress(self, stream: bytes) -> np.ndarray:
+        """Reconstruct the array from a stream built by :meth:`compress`."""
+        info, body_off = _parse_header(stream)
+        wrapped = stream[body_off : body_off + info.body_nbytes]
+        body, _ = lossless_decompress(wrapped)
+        symbols, consumed = huffman_decode(body)
+        if symbols.size != info.n_values:
+            raise CorruptStreamError("decoded symbol count mismatch")
+        outlier_blob = body[consumed : consumed + 8 * info.n_outliers]
+        if len(outlier_blob) != 8 * info.n_outliers:
+            raise CorruptStreamError("outlier stream truncated")
+        outliers = np.frombuffer(outlier_blob, dtype="<i8")
+        d = self._desymbolize(symbols, outliers, info.radius).reshape(info.shape)
+        q = lorenzo_inverse(d)
+        spec = QuantizerSpec(
+            abs_bound=info.abs_bound, mode=info.mode, requested_bound=info.requested_bound
+        )
+        recon = LinearQuantizer(info.requested_bound, info.mode).dequantize(q, spec)
+        return recon.astype(info.dtype, copy=False)
+
+    # -- internals ----------------------------------------------------------
+
+    def _symbolize(self, deltas: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map deltas to symbols; escape out-of-range deltas.
+
+        Symbol layout: ``0`` = escape; ``1 .. 2*radius`` = delta + radius + 1
+        for deltas in ``[-radius, radius - 1]``.
+        """
+        flat = deltas.ravel()
+        shifted = flat + self.radius
+        predictable = (shifted >= 0) & (shifted < 2 * self.radius)
+        symbols = np.where(predictable, shifted + 1, 0)
+        outliers = flat[~predictable]
+        return symbols, outliers
+
+    @staticmethod
+    def _desymbolize(
+        symbols: np.ndarray, outliers: np.ndarray, radius: int
+    ) -> np.ndarray:
+        """Inverse of :meth:`_symbolize`."""
+        d = symbols.astype(np.int64) - (radius + 1)
+        esc = symbols == 0
+        n_esc = int(esc.sum())
+        if n_esc != outliers.size:
+            raise CorruptStreamError("escape/outlier count mismatch")
+        if n_esc:
+            d[esc] = outliers
+        return d
+
+
+def _parse_header(stream: bytes) -> tuple[SZStreamInfo, int]:
+    """Parse the container header; returns (info, body offset)."""
+    if len(stream) < 4 + _HEADER.size:
+        raise CorruptStreamError("sz stream truncated (header)")
+    if stream[:4] != _MAGIC:
+        raise CorruptStreamError("bad sz magic")
+    (
+        dtag,
+        ndim_b,
+        mtag,
+        _reserved,
+        abs_bound,
+        req_bound,
+        radius_blob,
+        n_outliers,
+        body_nbytes,
+        _zero,
+    ) = _HEADER.unpack_from(stream, 4)
+    ndim = ndim_b[0]
+    if dtag not in _TAG_DTYPES:
+        raise CorruptStreamError(f"unknown dtype tag {dtag!r}")
+    if mtag not in _TAG_MODES:
+        raise CorruptStreamError(f"unknown mode tag {mtag!r}")
+    (radius,) = struct.unpack("<I", radius_blob)
+    shape_off = 4 + _HEADER.size
+    shape_end = shape_off + 8 * ndim
+    if len(stream) < shape_end:
+        raise CorruptStreamError("sz stream truncated (shape)")
+    shape = tuple(int(x) for x in np.frombuffer(stream[shape_off:shape_end], dtype="<u8"))
+    info = SZStreamInfo(
+        dtype=_TAG_DTYPES[dtag],
+        shape=shape,
+        mode=_TAG_MODES[mtag],
+        abs_bound=abs_bound,
+        requested_bound=req_bound,
+        radius=radius,
+        n_outliers=int(n_outliers),
+        body_nbytes=int(body_nbytes),
+        total_nbytes=shape_end + int(body_nbytes),
+    )
+    if len(stream) < info.total_nbytes:
+        raise CorruptStreamError("sz stream truncated (body)")
+    return info, shape_end
+
+
+def parse_stream_info(stream: bytes) -> SZStreamInfo:
+    """Recover :class:`SZStreamInfo` from a compressed stream header."""
+    info, _ = _parse_header(stream)
+    return info

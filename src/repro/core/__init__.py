@@ -1,0 +1,64 @@
+"""The paper's contribution: predictive compression-write for parallel HDF5.
+
+* :mod:`config` — pipeline configuration, the extra-space ratio domain
+  [1.1, 1.43] and the Fig. 9 performance/storage weight mapping;
+* :mod:`offsets` — pre-computed offset tables from predicted sizes, with
+  the Eq. (3) extra-space adjustment at extreme ratios;
+* :mod:`scheduler` — Algorithm 1, the O(n²) compression-order optimizer;
+* :mod:`overflow` — the overflow plan (second all-gather, end-of-file
+  placement, Fig. 8);
+* :mod:`writers` — the four write strategies of Fig. 4 executing on the
+  discrete-event simulator (timing at scale);
+* :mod:`pipeline` — the same strategies executing for real on thread ranks
+  against a PHD5 file (functional correctness);
+* :mod:`workload` — workload construction: real compression of partitioned
+  synthetic datasets, plus deterministic stat-pool scaling for rank counts
+  beyond what pure Python can compress in reasonable time.
+"""
+
+from repro.core.config import (
+    EXTRA_SPACE_MAX,
+    EXTRA_SPACE_MIN,
+    PipelineConfig,
+    extra_space_for_weight,
+)
+from repro.core.offsets import OffsetTable, effective_extra_space
+from repro.core.overflow import OverflowPlan
+from repro.core.pipeline import (
+    filter_write_pipeline,
+    nocomp_write_pipeline,
+    predictive_write_pipeline,
+)
+from repro.core.reader import parallel_read_pipeline, read_rank_partition
+from repro.core.scheduler import CompressionTask, optimize_order, queue_time
+from repro.core.workload import (
+    FieldPartitionStats,
+    Workload,
+    build_workload,
+    scale_workload,
+)
+from repro.core.writers import SimResult, simulate_strategy
+
+__all__ = [
+    "PipelineConfig",
+    "EXTRA_SPACE_MIN",
+    "EXTRA_SPACE_MAX",
+    "extra_space_for_weight",
+    "OffsetTable",
+    "effective_extra_space",
+    "OverflowPlan",
+    "CompressionTask",
+    "optimize_order",
+    "queue_time",
+    "Workload",
+    "FieldPartitionStats",
+    "build_workload",
+    "scale_workload",
+    "SimResult",
+    "simulate_strategy",
+    "predictive_write_pipeline",
+    "filter_write_pipeline",
+    "nocomp_write_pipeline",
+    "parallel_read_pipeline",
+    "read_rank_partition",
+]

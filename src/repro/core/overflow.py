@@ -1,0 +1,84 @@
+"""Overflow handling (paper Section III-D, Fig. 8).
+
+When a partition's actual compressed stream exceeds its reserved slot, the
+rank writes what fits, and after all primary writes finish the pipeline:
+
+1. all-gathers the per-partition overflow sizes (one integer each);
+2. every rank computes the same prefix-sum layout of overflow tails,
+   appended after the data region (``OffsetTable.data_end``);
+3. ranks owning overflow write their tails independently.
+
+:class:`OverflowPlan` is that deterministic second-phase layout.  The
+planner is pure (same inputs → same plan on every rank) and is shared by
+the thread pipeline and the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OverflowHandlingError
+
+
+@dataclass(frozen=True)
+class OverflowPlan:
+    """Layout of overflow tails at the end of the shared file."""
+
+    #: tail_nbytes[field][rank] — bytes that did not fit the slot.
+    tail_nbytes: np.ndarray
+    #: tail_offsets[field][rank] — where each tail lands (0 where no tail).
+    tail_offsets: np.ndarray
+    #: first byte of the overflow region.
+    base_offset: int
+
+    @property
+    def total_overflow(self) -> int:
+        """Total overflow bytes across all partitions."""
+        return int(self.tail_nbytes.sum())
+
+    @property
+    def n_overflowing(self) -> int:
+        """Number of partitions that overflowed."""
+        return int(np.count_nonzero(self.tail_nbytes))
+
+    @property
+    def end_offset(self) -> int:
+        """First byte after the overflow region."""
+        return self.base_offset + self.total_overflow
+
+    def tail(self, field: int, rank: int) -> tuple[int, int]:
+        """(offset, nbytes) of one partition's tail (nbytes 0 if none)."""
+        return int(self.tail_offsets[field, rank]), int(self.tail_nbytes[field, rank])
+
+    @classmethod
+    def compute(
+        cls,
+        actual_nbytes: np.ndarray,
+        reserved_nbytes: np.ndarray,
+        base_offset: int,
+    ) -> "OverflowPlan":
+        """Build the plan from all-gathered actual sizes.
+
+        ``actual_nbytes`` and ``reserved_nbytes`` are [nfields][nranks];
+        the prefix-sum order is field-major (same canonical order as the
+        primary offset table), so every rank derives identical offsets.
+        """
+        actual = np.asarray(actual_nbytes, dtype=np.int64)
+        reserved = np.asarray(reserved_nbytes, dtype=np.int64)
+        if actual.shape != reserved.shape or actual.ndim != 2:
+            raise OverflowHandlingError("actual/reserved must be equal-shape 2-D")
+        if base_offset < 0:
+            raise OverflowHandlingError("negative base offset")
+        if np.any(actual < 0) or np.any(reserved < 0):
+            raise OverflowHandlingError("negative sizes")
+        tails = np.maximum(actual - reserved, 0)
+        flat = tails.reshape(-1)
+        starts = base_offset + np.concatenate(([0], np.cumsum(flat)[:-1]))
+        offsets = np.where(flat > 0, starts, 0).reshape(tails.shape)
+        return cls(
+            tail_nbytes=tails,
+            tail_offsets=offsets.astype(np.int64),
+            base_offset=int(base_offset),
+        )

@@ -1,0 +1,288 @@
+"""Real execution of the write strategies on thread ranks + a PHD5 file.
+
+These pipelines are the *functional* counterpart of
+:mod:`repro.core.writers`: the same phases, the same offset/overflow
+mathematics (literally the same ``OffsetTable``/``OverflowPlan`` code), but
+running real compression on real arrays, coordinating over a real
+communicator, and producing a real shared file that reads back within the
+error bounds.
+
+Every pipeline is an SPMD function: call it from each rank with that
+rank's communicator (usually via :func:`repro.mpi.executor.run_spmd`).
+Rank 0 creates the file objects; all ranks then operate on the shared
+handles (thread ranks share memory, as MPI ranks share the parallel file
+system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.sz import SZCompressor
+from repro.core.config import PipelineConfig
+from repro.core.offsets import OffsetTable
+from repro.core.overflow import OverflowPlan
+from repro.core.scheduler import CompressionTask, optimize_order
+from repro.core.writers import default_models
+from repro.errors import ConfigError
+from repro.hdf5.async_io import EventSet
+from repro.hdf5.dataset import Dataset
+from repro.hdf5.file import File
+from repro.hdf5.filters import FILTER_SZ
+from repro.hdf5.properties import DatasetCreateProps
+from repro.hdf5.vol import AsyncVOL, NativeVOL
+from repro.modeling.ratio_model import RatioQualityModel
+from repro.mpi.comm import RankComm
+
+#: Data region base: past the container header, aligned.
+_BASE_OFFSET = 4096
+
+
+@dataclass
+class RankWriteStats:
+    """What one rank reports back from a pipeline run."""
+
+    rank: int
+    predicted_nbytes: dict[str, int]
+    actual_nbytes: dict[str, int]
+    overflow_nbytes: dict[str, int]
+    order: list[str]
+
+    @property
+    def total_actual(self) -> int:
+        """This rank's total compressed bytes."""
+        return sum(self.actual_nbytes.values())
+
+    @property
+    def total_overflow(self) -> int:
+        """This rank's total overflow bytes."""
+        return sum(self.overflow_nbytes.values())
+
+
+def _field_datasets(
+    comm: RankComm,
+    file: File,
+    fields: dict[str, np.ndarray],
+    global_shape: tuple[int, ...],
+    codecs: dict[str, SZCompressor],
+    layout: str,
+) -> dict[str, Dataset]:
+    """Rank 0 creates one dataset per field; everyone resolves them."""
+    names = list(fields)
+    if comm.rank == 0:
+        grp = file.require_group("fields")
+        for name in names:
+            codec = codecs[name]
+            dcpl = DatasetCreateProps(
+                chunks=tuple(global_shape),
+                filters=(
+                    (
+                        FILTER_SZ,
+                        {
+                            "bound": codec.quantizer.requested_bound,
+                            "mode": codec.quantizer.mode,
+                            "radius": codec.radius,
+                        },
+                    ),
+                ),
+            )
+            grp.create_dataset(name, shape=global_shape, dtype=np.float32,
+                               layout=layout, dcpl=dcpl)
+    comm.barrier()
+    return {name: file[f"fields/{name}"] for name in names}
+
+
+def predictive_write_pipeline(
+    comm: RankComm,
+    file: File,
+    fields: dict[str, np.ndarray],
+    region: list[list[int]],
+    global_shape: tuple[int, ...],
+    codecs: dict[str, SZCompressor],
+    config: PipelineConfig | None = None,
+    machine_name: str = "bebop",
+) -> RankWriteStats:
+    """The paper's solution: predictive offsets + overlap (+ reordering).
+
+    Parameters
+    ----------
+    fields:
+        This rank's partition of every field (same local shape).
+    region:
+        ``[[start, stop], ...]`` of this rank's block in the global grid.
+    codecs:
+        Per-field configured compressors (shared across ranks).
+    """
+    config = config or PipelineConfig()
+    names = list(fields)
+    datasets = _field_datasets(comm, file, fields, global_shape, codecs, "declared")
+
+    # Phase 1: predict sizes (sampling; no compression yet).
+    predicted: dict[str, int] = {}
+    for name in names:
+        model = RatioQualityModel(
+            codecs[name],
+            fraction=config.sample_fraction,
+            lossless_estimator=config.lossless_estimator,
+        )
+        predicted[name] = model.predict(fields[name]).predicted_nbytes
+
+    # Phase 2: one all-gather; every rank computes the same offset table.
+    gathered = comm.allgather(
+        {
+            "predicted": [predicted[n] for n in names],
+            "original": [int(fields[n].nbytes) for n in names],
+            "region": region,
+        }
+    )
+    pred_matrix = np.array([[g["predicted"][f] for g in gathered] for f in range(len(names))])
+    orig_matrix = np.array([[g["original"][f] for g in gathered] for f in range(len(names))])
+    regions = [g["region"] for g in gathered]
+    table = OffsetTable.compute(
+        pred_matrix, orig_matrix, config.extra_space_ratio,
+        base_offset=_BASE_OFFSET, alignment=config.slot_alignment,
+    )
+    for f, name in enumerate(names):
+        datasets[name].declare_partitions(
+            offsets=table.offsets[f].tolist(),
+            reserved=table.reserved[f].tolist(),
+            regions=regions,
+        )
+
+    # Phase 3: optimize the compression order from predicted times.
+    order = names
+    if config.reorder:
+        tmodel, wmodel = default_models(machine_name, comm.size)
+        tasks = [
+            CompressionTask(
+                field=name,
+                predicted_compress_seconds=tmodel.predict_seconds(
+                    fields[name].size, 8.0 * predicted[name] / fields[name].size
+                ),
+                predicted_write_seconds=wmodel.predict_seconds_for_bytes(predicted[name]),
+            )
+            for name in names
+        ]
+        order = [t.field for t in optimize_order(tasks)]
+
+    # Phase 4: compress in order, writes overlapped via the async VOL.
+    es = EventSet()
+    vol = AsyncVOL(file.async_engine, event_set=es)
+    actual: dict[str, int] = {}
+    tails: dict[str, bytes] = {}
+    for name in order:
+        stream = codecs[name].compress(fields[name])
+        actual[name] = len(stream)
+        f = names.index(name)
+        reserved = int(table.reserved[f, comm.rank])
+        vol.partition_write(datasets[name], comm.rank, stream)
+        if len(stream) > reserved:
+            tails[name] = stream[reserved:]
+    es.wait_all(60.0)
+
+    # Phase 5: second all-gather, overflow plan, independent tail writes.
+    actual_gathered = comm.allgather([actual[n] for n in names])
+    actual_matrix = np.array([[g[f] for g in actual_gathered] for f in range(len(names))])
+    plan = OverflowPlan.compute(actual_matrix, table.reserved, table.data_end)
+    es2 = EventSet()
+    vol2 = AsyncVOL(file.async_engine, event_set=es2)
+    overflow: dict[str, int] = {n: 0 for n in names}
+    for name, tail in tails.items():
+        f = names.index(name)
+        off, nbytes = plan.tail(f, comm.rank)
+        assert nbytes == len(tail)
+        vol2.overflow_write(datasets[name], comm.rank, tail, off)
+        overflow[name] = nbytes
+    es2.wait_all(60.0)
+    comm.barrier()
+    return RankWriteStats(
+        rank=comm.rank,
+        predicted_nbytes=predicted,
+        actual_nbytes=actual,
+        overflow_nbytes=overflow,
+        order=order,
+    )
+
+
+def filter_write_pipeline(
+    comm: RankComm,
+    file: File,
+    fields: dict[str, np.ndarray],
+    region: list[list[int]],
+    global_shape: tuple[int, ...],
+    codecs: dict[str, SZCompressor],
+) -> RankWriteStats:
+    """The H5Z-SZ baseline: compress everything, then a synchronized write.
+
+    No prediction, no extra space: offsets come from the *actual* sizes
+    after a post-compression all-gather, and writes happen collectively
+    (modelled here as barrier-synchronized writes after global agreement).
+    """
+    names = list(fields)
+    datasets = _field_datasets(comm, file, fields, global_shape, codecs, "declared")
+    streams = {name: codecs[name].compress(fields[name]) for name in names}
+    actual = {name: len(streams[name]) for name in names}
+    gathered = comm.allgather(
+        {
+            "actual": [actual[n] for n in names],
+            "original": [int(fields[n].nbytes) for n in names],
+            "region": region,
+        }
+    )
+    actual_matrix = np.array([[g["actual"][f] for g in gathered] for f in range(len(names))])
+    orig_matrix = np.array([[g["original"][f] for g in gathered] for f in range(len(names))])
+    regions = [g["region"] for g in gathered]
+    table = OffsetTable.compute(
+        actual_matrix, orig_matrix, rspace=1.0, base_offset=_BASE_OFFSET, alignment=8,
+    )
+    vol = NativeVOL()
+    for f, name in enumerate(names):
+        datasets[name].declare_partitions(
+            offsets=table.offsets[f].tolist(),
+            reserved=table.reserved[f].tolist(),
+            regions=regions,
+        )
+        leftover = vol.partition_write(datasets[name], comm.rank, streams[name])
+        assert leftover == 0  # exact sizes: nothing can overflow
+    comm.barrier()  # collective semantics: everyone leaves together
+    return RankWriteStats(
+        rank=comm.rank,
+        predicted_nbytes=dict(actual),
+        actual_nbytes=actual,
+        overflow_nbytes={n: 0 for n in names},
+        order=names,
+    )
+
+
+def nocomp_write_pipeline(
+    comm: RankComm,
+    file: File,
+    fields: dict[str, np.ndarray],
+    row_start: int,
+    global_shape: tuple[int, ...],
+) -> RankWriteStats:
+    """The non-compression baseline: independent raw slab writes."""
+    names = list(fields)
+    if comm.rank == 0:
+        grp = file.require_group("fields")
+        for name in names:
+            grp.create_dataset(name, shape=global_shape, dtype=np.float32)
+    comm.barrier()
+    es = EventSet()
+    vol = AsyncVOL(file.async_engine, event_set=es)
+    for name in names:
+        ds = file[f"fields/{name}"]
+        start = (row_start,) + (0,) * (len(global_shape) - 1)
+        vol.slab_write(ds, fields[name], start)
+    es.wait_all(60.0)
+    comm.barrier()
+    sizes = {n: int(fields[n].nbytes) for n in names}
+    return RankWriteStats(
+        rank=comm.rank,
+        predicted_nbytes=sizes,
+        actual_nbytes=sizes,
+        overflow_nbytes={n: 0 for n in names},
+        order=names,
+    )

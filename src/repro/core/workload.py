@@ -1,0 +1,284 @@
+"""Workload construction: per-partition compression statistics.
+
+A :class:`Workload` is everything the write strategies need to know about
+one snapshot's partitions: per (field, rank) the value count, the *actual*
+compressed size (from really compressing the synthetic data with the real
+codec), the *predicted* size (from really running the ratio model), and the
+stream statistics the cost model prices (outliers, distinct symbols).
+
+Pure Python cannot compress terabytes, so scales beyond what is feasible
+are produced by :func:`scale_workload`: the measured per-partition
+statistics pool is tiled deterministically across more ranks and the value
+counts are scaled linearly (bit-rates, ratios and prediction errors — the
+quantities every experiment depends on — are preserved exactly).  This
+substitution is documented in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.compression.huffman import build_code
+from repro.compression.sz import SZCompressor, parse_stream_info
+from repro.data.nyx import NyxGenerator
+from repro.data.partition import grid_partition, partition_particles
+from repro.data.vpic import VPICGenerator
+from repro.errors import ConfigError
+from repro.modeling.ratio_model import RatioQualityModel
+from repro.modeling.sampling import sample_partition_stats
+
+
+@dataclass(frozen=True)
+class FieldPartitionStats:
+    """Measured statistics for one (field, rank) partition."""
+
+    field: str
+    rank: int
+    n_values: int
+    original_nbytes: int
+    actual_nbytes: int
+    predicted_nbytes: int
+    n_outliers: int
+    n_unique_symbols: int
+
+    @property
+    def actual_bit_rate(self) -> float:
+        """Actual compressed bits per value."""
+        return 8.0 * self.actual_nbytes / self.n_values
+
+    @property
+    def predicted_bit_rate(self) -> float:
+        """Predicted compressed bits per value."""
+        return 8.0 * self.predicted_nbytes / self.n_values
+
+    @property
+    def prediction_error(self) -> float:
+        """Signed relative size-prediction error."""
+        return (self.predicted_nbytes - self.actual_nbytes) / self.actual_nbytes
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One snapshot's partitioned compression statistics."""
+
+    name: str
+    nranks: int
+    fields: tuple[str, ...]
+    #: stats[field_index][rank] — field-major, canonical order.
+    stats: tuple[tuple[FieldPartitionStats, ...], ...]
+
+    @property
+    def nfields(self) -> int:
+        """Number of fields."""
+        return len(self.fields)
+
+    def matrix(self, attr: str) -> np.ndarray:
+        """[nfields][nranks] array of one per-partition attribute."""
+        return np.array(
+            [[getattr(s, attr) for s in row] for row in self.stats], dtype=np.int64
+        )
+
+    @property
+    def original_total(self) -> int:
+        """Uncompressed snapshot bytes."""
+        return int(self.matrix("original_nbytes").sum())
+
+    @property
+    def actual_total(self) -> int:
+        """Ideal (no extra space) compressed bytes."""
+        return int(self.matrix("actual_nbytes").sum())
+
+    @property
+    def overall_ratio(self) -> float:
+        """Snapshot-level actual compression ratio."""
+        return self.original_total / self.actual_total
+
+    @property
+    def overall_bit_rate(self) -> float:
+        """Snapshot-level actual bits per value."""
+        n = int(self.matrix("n_values").sum())
+        return 8.0 * self.actual_total / n
+
+    def per_partition_bit_rates(self) -> np.ndarray:
+        """Flat array of actual bit-rates (the paper's Fig. 1 histogram)."""
+        return np.array(
+            [s.actual_bit_rate for row in self.stats for s in row], dtype=np.float64
+        )
+
+
+def _measure_partition(
+    data: np.ndarray,
+    field: str,
+    rank: int,
+    codec: SZCompressor,
+    sample_fraction: float,
+    lossless_estimator: str,
+) -> FieldPartitionStats:
+    """Compress one partition for real and predict its size."""
+    stream = codec.compress(data)
+    info = parse_stream_info(stream)
+    model = RatioQualityModel(
+        codec, fraction=sample_fraction, lossless_estimator=lossless_estimator
+    )
+    sampled = sample_partition_stats(
+        data,
+        bound=codec.quantizer.requested_bound,
+        mode=codec.quantizer.mode,
+        radius=codec.radius,
+        fraction=sample_fraction,
+    )
+    pred = model.predict_from_stats(sampled, bytes_per_value=data.dtype.itemsize)
+    return FieldPartitionStats(
+        field=field,
+        rank=rank,
+        n_values=int(data.size),
+        original_nbytes=int(data.nbytes),
+        actual_nbytes=len(stream),
+        predicted_nbytes=pred.predicted_nbytes,
+        n_outliers=info.n_outliers,
+        n_unique_symbols=sampled.n_unique_symbols,
+    )
+
+
+def build_workload(
+    dataset: str = "nyx",
+    nranks: int = 8,
+    shape: tuple[int, int, int] = (64, 64, 64),
+    n_particles: int = 1 << 20,
+    bound_scale: float = 1.0,
+    seed: int | None = None,
+    sample_fraction: float = 0.05,
+    lossless_estimator: str = "rle",
+    include_particles: bool = False,
+    growth: float = 1.0,
+) -> Workload:
+    """Generate, partition, and *really compress* a synthetic snapshot.
+
+    ``bound_scale`` multiplies every field's error bound — the knob the
+    ratio-sweep experiments (paper Figs. 17a/b) turn.
+    """
+    if bound_scale <= 0:
+        raise ConfigError("bound_scale must be positive")
+    if dataset == "nyx":
+        gen = NyxGenerator(shape, seed=seed, include_particles=include_particles, growth=growth)
+        parts = grid_partition(shape, nranks)
+        mode = "abs"
+    elif dataset == "vpic":
+        gen = VPICGenerator(n_particles, seed=seed)
+        parts = partition_particles(n_particles, nranks)
+        mode = "rel"
+    else:
+        raise ConfigError(f"unknown dataset {dataset!r} (nyx or vpic)")
+    rows = []
+    for field in gen.field_names:
+        global_field = gen.field(field)
+        bound = gen.error_bound(field) * bound_scale
+        codec = SZCompressor(bound=bound, mode=mode)
+        row = tuple(
+            _measure_partition(
+                np.ascontiguousarray(p.extract(global_field)),
+                field,
+                p.rank,
+                codec,
+                sample_fraction,
+                lossless_estimator,
+            )
+            for p in parts
+        )
+        rows.append(row)
+    return Workload(
+        name=f"{dataset}-{nranks}r", nranks=nranks, fields=tuple(gen.field_names), stats=tuple(rows)
+    )
+
+
+def scale_workload(
+    workload: Workload,
+    nranks: int | None = None,
+    values_per_partition: int | None = None,
+    seed: int = 0,
+) -> Workload:
+    """Deterministically scale a measured workload to a larger configuration.
+
+    * ``nranks`` — tile the measured per-rank statistics pool (cyclic with a
+      seeded shuffle per field) across more ranks;
+    * ``values_per_partition`` — scale each partition's value count; all
+      byte quantities scale linearly so bit-rates are preserved.
+    """
+    if nranks is None:
+        nranks = workload.nranks
+    if nranks < 1:
+        raise ConfigError("nranks must be positive")
+    rng = np.random.default_rng(seed)
+    rows = []
+    for frow in workload.stats:
+        pool = list(frow)
+        order = rng.permutation(len(pool))
+        new_row = []
+        for rank in range(nranks):
+            src = pool[order[rank % len(pool)]]
+            s = replace(src, rank=rank)
+            if values_per_partition is not None and values_per_partition != s.n_values:
+                factor = values_per_partition / s.n_values
+                s = replace(
+                    s,
+                    n_values=int(values_per_partition),
+                    original_nbytes=int(round(s.original_nbytes * factor)),
+                    actual_nbytes=max(1, int(round(s.actual_nbytes * factor))),
+                    predicted_nbytes=max(1, int(round(s.predicted_nbytes * factor))),
+                    n_outliers=int(round(s.n_outliers * factor)),
+                )
+            new_row.append(s)
+        rows.append(tuple(new_row))
+    return Workload(
+        name=f"{workload.name}-scaled{nranks}",
+        nranks=nranks,
+        fields=workload.fields,
+        stats=tuple(rows),
+    )
+
+
+def find_bound_scale_for_bitrate(
+    target_bit_rate: float,
+    dataset: str = "nyx",
+    nranks: int = 8,
+    shape: tuple[int, int, int] = (48, 48, 48),
+    n_particles: int = 1 << 18,
+    seed: int | None = None,
+    tolerance: float = 0.1,
+    max_iters: int = 18,
+) -> float:
+    """Bisect the bound scale achieving a snapshot-level target bit-rate.
+
+    The paper's trade-off/scaling experiments fix "target compressed
+    bit-rate 2"; this is the knob search that realizes it on the synthetic
+    data.  Returns the multiplicative bound scale.
+    """
+    if target_bit_rate <= 0:
+        raise ConfigError("target bit rate must be positive")
+
+    def bitrate_at(scale: float) -> float:
+        wl = build_workload(
+            dataset=dataset,
+            nranks=nranks,
+            shape=shape,
+            n_particles=n_particles,
+            bound_scale=scale,
+            seed=seed,
+            sample_fraction=0.05,
+        )
+        return wl.overall_bit_rate
+
+    lo, hi = 1e-3, 1e4
+    # Bit-rate decreases as the bound grows; bisect in log space.
+    for _ in range(max_iters):
+        mid = float(np.sqrt(lo * hi))
+        br = bitrate_at(mid)
+        if abs(br - target_bit_rate) <= tolerance:
+            return mid
+        if br > target_bit_rate:
+            lo = mid
+        else:
+            hi = mid
+    return float(np.sqrt(lo * hi))

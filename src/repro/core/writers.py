@@ -1,0 +1,392 @@
+"""The four write strategies of paper Fig. 4, executing on the simulator.
+
+1. ``nocomp``  — independent write, no compression (baseline 1);
+2. ``filter``  — compress everything, all-gather actual sizes, collective
+   write (the H5Z-SZ baseline, baseline 2);
+3. ``overlap`` — predict → all-gather predicted sizes → pre-computed
+   offsets with extra space → compress field-by-field with asynchronous
+   independent writes overlapped → overflow phase;
+4. ``reorder`` — ``overlap`` plus Algorithm 1 compression-order
+   optimization.
+
+Timing semantics encoded here (and measured by the paper):
+
+* compression on a rank is sequential; one rank's outstanding async writes
+  drain in issue order (single I/O stream per process) — exactly the TIME
+  model the scheduler optimizes;
+* the collective write releases every rank only when the aggregate buffer
+  has drained, so the slowest compressor gates everyone (the baseline's
+  synchronization cost);
+* the overflow phase starts after a second all-gather that itself waits
+  for every rank's primary writes.
+
+Storage semantics: slots hold ``min(actual, reserved)`` bytes; tails land
+in the overflow region.  ``SimResult`` carries both the paper's Fig. 16
+breakdown and the Fig. 14 storage-overhead quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.offsets import OffsetTable
+from repro.core.overflow import OverflowPlan
+from repro.core.scheduler import CompressionTask, optimize_order
+from repro.core.workload import Workload
+from repro.errors import ConfigError
+from repro.modeling.calibration import calibrate_write_throughput
+from repro.modeling.throughput_model import PowerLawThroughputModel
+from repro.modeling.write_model import StableWriteModel
+from repro.sim.engine import Environment
+from repro.sim.filesystem import ParallelFileSystem
+from repro.sim.machine import MachineProfile, get_machine
+from repro.sim.resources import SimBarrier
+from repro.sim.trace import TraceRecorder
+
+STRATEGIES = ("nocomp", "filter", "overlap", "reorder")
+
+#: Fixed base offset of the data region in the simulated shared file.
+_BASE_OFFSET = 4096
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulated parallel write."""
+
+    strategy: str
+    nranks: int
+    nfields: int
+    makespan_seconds: float
+    predict_seconds: float
+    allgather_seconds: float
+    compress_seconds: float  # max over ranks of total compression time
+    write_exposed_seconds: float  # write time not hidden behind compression
+    overflow_seconds: float
+    logical_nbytes: int  # uncompressed snapshot size
+    ideal_compressed_nbytes: int  # sum of actual streams (no extra space)
+    file_footprint_nbytes: int  # reserved slots + overflow region
+    overflow_nbytes: int
+    n_overflow_partitions: int
+    trace: TraceRecorder
+
+    @property
+    def write_seconds(self) -> float:
+        """Everything that is not compression (paper's 'write time')."""
+        return self.makespan_seconds - self.compress_seconds
+
+    @property
+    def effective_ratio(self) -> float:
+        """Compression ratio including extra-space waste (paper Fig. 16)."""
+        return self.logical_nbytes / self.file_footprint_nbytes
+
+    @property
+    def ideal_ratio(self) -> float:
+        """Compression ratio without the extra space."""
+        return self.logical_nbytes / self.ideal_compressed_nbytes
+
+    @property
+    def storage_overhead_vs_ideal(self) -> float:
+        """Footprint excess over the ideal compressed size (Fig. 14 y-axis)."""
+        return self.file_footprint_nbytes / self.ideal_compressed_nbytes - 1.0
+
+    @property
+    def storage_overhead_vs_original(self) -> float:
+        """Extra-space waste relative to the *uncompressed* data — the
+        paper's headline "only 1.5% storage overhead" metric."""
+        return (
+            self.file_footprint_nbytes - self.ideal_compressed_nbytes
+        ) / self.logical_nbytes
+
+    def speedup_over(self, other: "SimResult") -> float:
+        """Makespan ratio other/self (>1 means self is faster)."""
+        return other.makespan_seconds / self.makespan_seconds
+
+
+@lru_cache(maxsize=64)
+def default_models(
+    machine: MachineProfile | str, nranks: int
+) -> tuple[PowerLawThroughputModel, StableWriteModel]:
+    """Offline-calibrated Eq. (1) and Eq. (2) models for a machine/scale.
+
+    The throughput model is fitted against the machine's ground-truth cost
+    curve (as the offline calibration would); the write model measures the
+    simulated PFS at the experiment's process count, mirroring Section
+    IV-B.  Cached because calibration is deterministic per (machine, scale)
+    — profiles are frozen dataclasses, so modified copies get their own
+    cache slots.
+    """
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    bit_rates = np.linspace(0.25, 24.0, 24)
+    throughputs = np.array([machine.cost_model.throughput_mbps(b) for b in bit_rates])
+    tmodel = PowerLawThroughputModel.fit(bit_rates, throughputs)
+    wmodel = calibrate_write_throughput(
+        machine, nprocs=min(nranks, 128), sizes=(2 * 2**20, 8 * 2**20, 32 * 2**20)
+    )
+    return tmodel, wmodel
+
+
+def simulate_strategy(
+    strategy: str,
+    workload: Workload,
+    machine: MachineProfile,
+    config: PipelineConfig | None = None,
+    models: tuple[PowerLawThroughputModel, StableWriteModel] | None = None,
+    handle_overflow: bool = True,
+) -> SimResult:
+    """Run one strategy over one workload on one machine profile.
+
+    ``handle_overflow=False`` silently grows any under-reserved slot to fit
+    (the "write time without handling data overflow" reference the paper's
+    Fig. 14 performance overhead is measured against).
+    """
+    if strategy not in STRATEGIES:
+        raise ConfigError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+    config = config or PipelineConfig()
+    if models is None:
+        models = default_models(machine, workload.nranks)
+    sim = _StrategySim(strategy, workload, machine, config, models, handle_overflow)
+    return sim.run()
+
+
+class _StrategySim:
+    """One simulation run (helper holding shared state)."""
+
+    def __init__(self, strategy, workload, machine, config, models, handle_overflow):
+        self.strategy = strategy
+        self.w = workload
+        self.machine = machine
+        self.config = config
+        self.tmodel, self.wmodel = models
+        self.handle_overflow = handle_overflow
+        self.env = Environment()
+        self.fs = machine.make_filesystem(self.env, nranks=workload.nranks)
+        self.trace = TraceRecorder()
+        # Canonical matrices (field-major).
+        self.n_values = self.w.matrix("n_values")
+        self.original = self.w.matrix("original_nbytes")
+        self.actual = self.w.matrix("actual_nbytes")
+        self.predicted = self.w.matrix("predicted_nbytes")
+        self.outliers = self.w.matrix("n_outliers")
+        self.unique = self.w.matrix("n_unique_symbols")
+        self.t_primary_done = 0.0
+        self.offset_table: OffsetTable | None = None
+        self.overflow_plan: OverflowPlan | None = None
+
+    # -- shared cost helpers --------------------------------------------------
+
+    def _compress_seconds(self, f: int, r: int) -> float:
+        return self.machine.cost_model.compression_seconds(
+            n_values=int(self.n_values[f, r]),
+            bit_rate=8.0 * self.actual[f, r] / self.n_values[f, r],
+            n_outliers=int(self.outliers[f, r]),
+            n_unique_symbols=int(self.unique[f, r]),
+        )
+
+    def _predict_seconds(self, r: int) -> float:
+        """Ratio/throughput prediction overhead: the sampled fraction of the
+        compression pass (paper: <10% of compression time)."""
+        total = sum(self._compress_seconds(f, r) for f in range(self.w.nfields))
+        return total * self.config.sample_fraction * 1.2
+
+    def _field_order(self, r: int) -> list[int]:
+        if self.strategy != "reorder":
+            return list(range(self.w.nfields))
+        tasks = [
+            CompressionTask(
+                field=str(f),
+                predicted_compress_seconds=self.tmodel.predict_seconds(
+                    int(self.n_values[f, r]), 8.0 * self.predicted[f, r] / self.n_values[f, r]
+                ),
+                predicted_write_seconds=self.wmodel.predict_seconds_for_bytes(
+                    float(self.predicted[f, r])
+                ),
+            )
+            for f in range(self.w.nfields)
+        ]
+        return [int(t.field) for t in optimize_order(tasks)]
+
+    # -- strategies ------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        runner = {
+            "nocomp": self._run_nocomp,
+            "filter": self._run_filter,
+            "overlap": self._run_overlapped,
+            "reorder": self._run_overlapped,
+        }[self.strategy]
+        runner()
+        makespan = self.env.run()
+        return self._result(makespan)
+
+    def _run_nocomp(self) -> None:
+        env, fs, trace = self.env, self.fs, self.trace
+
+        def rank_proc(r: int):
+            for f in range(self.w.nfields):
+                t0 = env.now
+                yield fs.independent_write(float(self.original[f, r]))
+                trace.add(r, "write", t0, env.now, label=self.w.fields[f],
+                          nbytes=int(self.original[f, r]))
+
+        for r in range(self.w.nranks):
+            env.process(rank_proc(r))
+        self.offset_table = None
+
+    def _run_filter(self) -> None:
+        env, fs, trace = self.env, self.fs, self.trace
+        nranks = self.w.nranks
+        barrier = SimBarrier(env, nranks)
+        allgather_t = self.machine.comm.allgather_seconds(nranks, 8.0 * self.w.nfields)
+        coll = fs.collective_write(nranks)
+
+        def rank_proc(r: int):
+            for f in range(self.w.nfields):
+                t0 = env.now
+                yield env.timeout(self._compress_seconds(f, r))
+                trace.add(r, "compress", t0, env.now, label=self.w.fields[f])
+            # All-gather of actual sizes: a synchronization point.
+            t0 = env.now
+            yield barrier.arrive()
+            yield env.timeout(allgather_t)
+            trace.add(r, "allgather", t0, env.now)
+            t0 = env.now
+            total = float(self.actual[:, r].sum())
+            yield coll.submit(total)
+            trace.add(r, "write", t0, env.now, nbytes=int(total))
+
+        for r in range(nranks):
+            env.process(rank_proc(r))
+
+    def _run_overlapped(self) -> None:
+        env, fs, trace = self.env, self.fs, self.trace
+        nranks, nfields = self.w.nranks, self.w.nfields
+        config = self.config
+        # Every rank computes the same table; do it once here.
+        table = OffsetTable.compute(
+            self.predicted, self.original, config.extra_space_ratio,
+            base_offset=_BASE_OFFSET, alignment=config.slot_alignment,
+        )
+        reserved = table.reserved.copy()
+        if not self.handle_overflow:
+            reserved = np.maximum(reserved, self.actual)
+        plan = OverflowPlan.compute(self.actual, reserved, table.data_end)
+        self.offset_table = OffsetTable(
+            offsets=table.offsets, reserved=reserved,
+            data_end=table.data_end, base_offset=table.base_offset,
+        )
+        self.overflow_plan = plan
+        barrier1 = SimBarrier(env, nranks)
+        barrier2 = SimBarrier(env, nranks)
+        ag1 = self.machine.comm.allgather_seconds(nranks, 8.0 * nfields)
+        ag2 = self.machine.comm.allgather_seconds(nranks, 8.0 * nfields)
+        primary_done = env.event()
+        done_count = {"n": 0}
+
+        def rank_proc(r: int):
+            # Phase 1: prediction.
+            t0 = env.now
+            yield env.timeout(self._predict_seconds(r))
+            trace.add(r, "predict", t0, env.now)
+            # Phase 2: all-gather predicted sizes + offset computation.
+            t0 = env.now
+            yield barrier1.arrive()
+            yield env.timeout(ag1 + 1e-7 * nfields * nfields)  # + Algorithm 1
+            trace.add(r, "allgather", t0, env.now)
+            # Phase 3: compress in (possibly optimized) order; writes are
+            # issued asynchronously and drain in order on this rank's stream.
+            prev_write = None
+            pending = []
+            for f in self._field_order(r):
+                t0 = env.now
+                yield env.timeout(self._compress_seconds(f, r))
+                trace.add(r, "compress", t0, env.now, label=self.w.fields[f])
+                nbytes = float(min(self.actual[f, r], reserved[f, r]))
+                prev_write = env.process(
+                    self._chained_write(r, f, nbytes, prev_write)
+                )
+                pending.append(prev_write)
+            # Wait for this rank's writes to land.
+            yield env.all_of(pending)
+            # Phase 4: all-gather of overflow sizes.
+            t0 = env.now
+            yield barrier2.arrive()
+            if done_count["n"] == 0:
+                done_count["n"] = 1
+                primary_done.succeed(env.now)
+            yield env.timeout(ag2)
+            trace.add(r, "allgather", t0, env.now)
+            # Phase 5: write overflow tails (sequential per rank).
+            for f in range(nfields):
+                _, tail = plan.tail(f, r)
+                if tail > 0:
+                    t0 = env.now
+                    yield fs.independent_write(float(tail))
+                    trace.add(r, "overflow", t0, env.now, nbytes=tail)
+
+        def _watch_primary():
+            yield primary_done
+            self.t_primary_done = env.now
+
+        env.process(_watch_primary())
+        for r in range(nranks):
+            env.process(rank_proc(r))
+
+    def _chained_write(self, rank: int, f: int, nbytes: float, prev):
+        """A rank's async writes drain in issue order (one I/O stream)."""
+        env, fs, trace = self.env, self.fs, self.trace
+        if prev is not None:
+            yield prev
+        t0 = env.now
+        yield fs.independent_write(nbytes)
+        trace.add(rank, "write", t0, env.now, label=self.w.fields[f], nbytes=int(nbytes))
+
+    # -- result assembly ---------------------------------------------------------
+
+    def _result(self, makespan: float) -> SimResult:
+        trace = self.trace
+        if self.strategy == "nocomp":
+            ideal = self.w.original_total
+            footprint = self.w.original_total
+            overflow_bytes = 0
+            n_over = 0
+        elif self.strategy == "filter":
+            ideal = self.w.actual_total
+            footprint = self.w.actual_total
+            overflow_bytes = 0
+            n_over = 0
+        else:
+            ideal = self.w.actual_total
+            assert self.offset_table is not None and self.overflow_plan is not None
+            footprint = (
+                self.offset_table.data_end - self.offset_table.base_offset
+            ) + self.overflow_plan.total_overflow
+            overflow_bytes = self.overflow_plan.total_overflow
+            n_over = self.overflow_plan.n_overflowing
+        # Per-rank allgather totals overlap across ranks; report max-rank.
+        overflow_seconds = (
+            max(0.0, trace.kind_end("overflow") - self.t_primary_done)
+            if trace.kind_end("overflow") > 0
+            else 0.0
+        )
+        return SimResult(
+            strategy=self.strategy,
+            nranks=self.w.nranks,
+            nfields=self.w.nfields,
+            makespan_seconds=makespan,
+            predict_seconds=trace.max_rank_total("predict"),
+            allgather_seconds=trace.max_rank_total("allgather"),
+            compress_seconds=trace.max_rank_total("compress"),
+            write_exposed_seconds=trace.exposed_write_seconds(),
+            overflow_seconds=overflow_seconds,
+            logical_nbytes=self.w.original_total,
+            ideal_compressed_nbytes=ideal,
+            file_footprint_nbytes=int(footprint),
+            overflow_nbytes=int(overflow_bytes),
+            n_overflow_partitions=int(n_over),
+            trace=trace,
+        )

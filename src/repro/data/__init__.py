@@ -1,0 +1,47 @@
+"""Synthetic scientific datasets standing in for the paper's Nyx/VPIC data.
+
+The paper evaluates on Nyx cosmology snapshots (512³–4096³ grids, 6–9 fields)
+and a VPIC particle dump (161 G particles, 8 fields).  Neither is available
+offline, so this package generates fields with the *statistical structure*
+the experiments depend on: spatially correlated Gaussian random fields,
+log-normal densities with heavy-tailed compressibility, Maxwellian particle
+data, and a time-step series whose compressibility drifts slowly (for the
+paper's Fig. 15 consistency study).
+"""
+
+from repro.data.fields import (
+    gaussian_random_field,
+    layered_field,
+    lognormal_field,
+)
+from repro.data.nyx import (
+    NYX_ABS_ERROR_BOUNDS,
+    NYX_FIELDS,
+    NYX_PARTICLE_FIELDS,
+    NyxGenerator,
+)
+from repro.data.partition import (
+    Partition,
+    grid_partition,
+    partition_particles,
+    process_grid,
+)
+from repro.data.timesteps import TimestepSeries
+from repro.data.vpic import VPIC_FIELDS, VPICGenerator
+
+__all__ = [
+    "gaussian_random_field",
+    "layered_field",
+    "lognormal_field",
+    "NYX_ABS_ERROR_BOUNDS",
+    "NYX_FIELDS",
+    "NYX_PARTICLE_FIELDS",
+    "NyxGenerator",
+    "Partition",
+    "grid_partition",
+    "partition_particles",
+    "process_grid",
+    "TimestepSeries",
+    "VPIC_FIELDS",
+    "VPICGenerator",
+]

@@ -1,0 +1,114 @@
+"""Gaussian-random-field generators (FFT spectral synthesis).
+
+Cosmological grid data is, to first order, a correlated random field with a
+power-law spectrum; hydrodynamics adds log-normal density tails.  We
+synthesize fields by shaping white noise in k-space::
+
+    field = Re( IFFT( W(k) * |k|^(power/2) ) ),   W = white complex noise
+
+``power ≈ -3`` gives the smooth, highly compressible structure typical of
+simulation output; ``power → 0`` degrades towards white noise (nearly
+incompressible), which the benchmarks use to sweep compressibility.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.utils.rng import resolve_rng
+
+
+def _k_magnitude(shape: Sequence[int]) -> np.ndarray:
+    """|k| grid for an FFT of the given shape (DC term set to 1)."""
+    axes = [np.fft.fftfreq(s) for s in shape]
+    grids = np.meshgrid(*axes, indexing="ij", sparse=True)
+    k2 = sum(g * g for g in grids)
+    k = np.sqrt(k2)
+    k[tuple([0] * len(shape))] = 1.0  # avoid division by zero at DC
+    return k
+
+
+def gaussian_random_field(
+    shape: Sequence[int],
+    power: float = -3.0,
+    seed: int | np.random.Generator | None = None,
+    phases: np.ndarray | None = None,
+) -> np.ndarray:
+    """Zero-mean, unit-variance correlated random field.
+
+    Parameters
+    ----------
+    shape:
+        Output grid shape (rank 1-3 are sensible; any rank works).
+    power:
+        Spectral index; amplitude at wavenumber k scales as ``|k|^(power/2)``.
+        More negative = smoother = more compressible.
+    seed:
+        RNG seed or generator.
+    phases:
+        Optional precomputed complex white-noise cube (same shape) so callers
+        (e.g. the time-step series) can evolve a field with frozen phases.
+    """
+    shape = tuple(int(s) for s in shape)
+    if any(s <= 0 for s in shape):
+        raise ValueError("all dimensions must be positive")
+    rng = resolve_rng(seed)
+    if phases is None:
+        phases = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    elif phases.shape != shape:
+        raise ValueError("phases shape mismatch")
+    spectrum = _k_magnitude(shape) ** (power / 2.0)
+    spectrum[tuple([0] * len(shape))] = 0.0  # remove mean
+    field = np.real(np.fft.ifftn(phases * spectrum))
+    std = field.std()
+    if std > 0:
+        field = field / std
+    return field
+
+
+def lognormal_field(
+    shape: Sequence[int],
+    power: float = -3.0,
+    sigma: float = 1.0,
+    mean: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+    phases: np.ndarray | None = None,
+) -> np.ndarray:
+    """Log-normal transform of a GRF — heavy-tailed density-like field.
+
+    ``sigma`` controls tail weight (cosmological baryon density has sigma
+    around 1-2); the output is scaled to the requested ``mean``.
+    """
+    g = gaussian_random_field(shape, power=power, seed=seed, phases=phases)
+    field = np.exp(sigma * g - 0.5 * sigma * sigma)  # unit-mean lognormal
+    return field * mean
+
+
+def layered_field(
+    shape: Sequence[int],
+    n_layers: int = 12,
+    contrast: float = 0.3,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Layered-velocity field (RTM-like stand-in).
+
+    Reverse-time-migration velocity models are dominated by near-horizontal
+    layers with sharp interfaces plus smooth lateral variation; the paper's
+    Fig. 5 includes an RTM dataset.  Depth (axis 0) is divided into random
+    layers with distinct base velocities, modulated by a weak smooth GRF.
+    """
+    shape = tuple(int(s) for s in shape)
+    rng = resolve_rng(seed)
+    depth = shape[0]
+    cuts = np.sort(rng.choice(np.arange(1, depth), size=min(n_layers - 1, depth - 1), replace=False))
+    boundaries = np.concatenate(([0], cuts, [depth]))
+    base = np.empty(depth)
+    level = 1.5 + rng.random() * 0.5
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        level += rng.uniform(0.05, 0.25)  # velocity increases with depth
+        base[lo:hi] = level
+    profile = base.reshape((depth,) + (1,) * (len(shape) - 1))
+    perturb = gaussian_random_field(shape, power=-3.5, seed=rng)
+    return profile * (1.0 + contrast * 0.1 * perturb)

@@ -1,0 +1,120 @@
+"""Domain decomposition across ranks.
+
+Grid datasets are split into a near-cubic process grid (as Nyx does);
+particle datasets are split into equal contiguous ranges.  Each rank's piece
+is described by a :class:`Partition` carrying the slices into the global
+array, so the SPMD runtime and the simulator share one decomposition.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One rank's share of a global dataset."""
+
+    rank: int
+    slices: tuple[slice, ...]
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Local shape of this partition."""
+        return tuple(s.stop - s.start for s in self.slices)
+
+    @property
+    def n_values(self) -> int:
+        """Number of elements in this partition."""
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def extract(self, data: np.ndarray) -> np.ndarray:
+        """Slice this partition out of the global array (a view)."""
+        return data[self.slices]
+
+
+def process_grid(nranks: int, ndim: int = 3) -> tuple[int, ...]:
+    """Factor ``nranks`` into a near-cubic ``ndim``-dimensional grid.
+
+    Mirrors ``MPI_Dims_create``: repeatedly assign the largest prime factor
+    to the currently smallest grid dimension.
+    """
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    dims = [1] * ndim
+    factors: list[int] = []
+    n = nranks
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        dims[int(np.argmin(dims))] *= factor
+    return tuple(sorted(dims, reverse=True))
+
+
+def _axis_splits(extent: int, parts: int) -> list[slice]:
+    """Split one axis of length ``extent`` into ``parts`` near-equal slices."""
+    cuts = np.linspace(0, extent, parts + 1).round().astype(int)
+    return [slice(int(a), int(b)) for a, b in zip(cuts[:-1], cuts[1:])]
+
+
+def grid_partition(shape: Sequence[int], nranks: int) -> list[Partition]:
+    """Partition an n-D grid across ``nranks`` in a near-cubic layout.
+
+    Every element belongs to exactly one partition; partitions are ordered
+    by rank in row-major process-grid order.
+    """
+    shape = tuple(int(s) for s in shape)
+    dims = process_grid(nranks, len(shape))
+    if any(d > s for d, s in zip(dims, shape)):
+        raise ValueError(
+            f"cannot place process grid {dims} on array shape {shape}: "
+            "more ranks than cells along an axis"
+        )
+    per_axis = [_axis_splits(s, d) for s, d in zip(shape, dims)]
+    parts: list[Partition] = []
+    counts = [len(a) for a in per_axis]
+    for rank in range(nranks):
+        idx = []
+        rem = rank
+        for c in reversed(counts):
+            idx.append(rem % c)
+            rem //= c
+        idx.reverse()
+        parts.append(
+            Partition(rank=rank, slices=tuple(per_axis[ax][i] for ax, i in enumerate(idx)))
+        )
+    return parts
+
+
+def slab_partition(shape: Sequence[int], nranks: int) -> list[Partition]:
+    """Partition along axis 0 only (contiguous row slabs).
+
+    Slab decomposition keeps every rank's piece contiguous in file order,
+    which is what the raw (non-compressed) independent-write baseline needs.
+    """
+    shape = tuple(int(s) for s in shape)
+    if nranks > shape[0]:
+        raise ValueError("more ranks than rows along axis 0")
+    rows = _axis_splits(shape[0], nranks)
+    full = tuple(slice(0, s) for s in shape[1:])
+    return [Partition(rank=r, slices=(sl,) + full) for r, sl in enumerate(rows)]
+
+
+def partition_particles(n_particles: int, nranks: int) -> list[Partition]:
+    """Split a 1-D particle dump into ``nranks`` contiguous ranges."""
+    if n_particles < nranks:
+        raise ValueError("fewer particles than ranks")
+    splits = _axis_splits(int(n_particles), nranks)
+    return [Partition(rank=r, slices=(sl,)) for r, sl in enumerate(splits)]

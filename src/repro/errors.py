@@ -1,0 +1,85 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Sub-hierarchies mirror the subsystems: compression,
+modeling, the HDF5-like substrate, the SPMD runtime, and the event simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CompressionError(ReproError):
+    """Raised when a codec cannot compress or decompress a buffer."""
+
+
+class CorruptStreamError(CompressionError):
+    """Raised when a compressed stream fails structural validation."""
+
+
+class ErrorBoundViolation(CompressionError):
+    """Raised when reconstruction verification detects an error-bound breach.
+
+    This should never fire for the SZ codec (the bound holds by construction);
+    it exists for the verification utilities and the simplified ZFP codec,
+    whose fixed-rate mode does not guarantee a point-wise bound.
+    """
+
+
+class ModelingError(ReproError):
+    """Raised by the prediction models (ratio / throughput / write-time)."""
+
+
+class CalibrationError(ModelingError):
+    """Raised when offline calibration cannot fit the requested model."""
+
+
+class HDF5Error(ReproError):
+    """Base error for the HDF5-like file substrate."""
+
+
+class FileFormatError(HDF5Error):
+    """Raised when an on-disk container fails format validation."""
+
+
+class ObjectExistsError(HDF5Error):
+    """Raised when creating a group/dataset whose name is already linked."""
+
+
+class ObjectNotFoundError(HDF5Error, KeyError):
+    """Raised when resolving a path that does not exist in the file."""
+
+
+class FilterError(HDF5Error):
+    """Raised by the filter pipeline (unknown id, apply/invert failure)."""
+
+
+class InvalidStateError(HDF5Error):
+    """Raised when an operation is attempted on a closed or torn-down object."""
+
+
+class RuntimeLayerError(ReproError):
+    """Base error for the SPMD thread runtime."""
+
+
+class CommunicatorError(RuntimeLayerError):
+    """Raised on misuse of the thread communicator (rank mismatch, reuse)."""
+
+
+class SimulationError(ReproError):
+    """Base error for the discrete-event simulation engine."""
+
+
+class SchedulingError(ReproError):
+    """Raised by the compression-order optimizer on invalid task queues."""
+
+
+class OverflowHandlingError(ReproError):
+    """Raised when overflow resolution cannot place exceeded data."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised for invalid user-facing configuration values."""

@@ -1,0 +1,143 @@
+"""Asynchronous I/O engine (the async VOL's backing threads).
+
+HDF5's async VOL connector (Tang et al., "Transparent Asynchronous Parallel
+I/O Using Background Threads", TPDS 2022) queues I/O operations onto
+background threads and hands the caller a request handle; an *event set*
+groups requests so completion can be awaited en masse.  This module is that
+mechanism: a small thread pool, :class:`AsyncRequest` handles with
+``wait()``/``done`` semantics and failure propagation, and
+:class:`EventSet` mirroring HDF5's ``es_id``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable
+
+from repro.errors import InvalidStateError
+
+
+class AsyncRequest:
+    """Handle for one queued operation."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        """True once the operation finished (successfully or not)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until completion; re-raises the operation's exception."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"async request {self.label!r} timed out")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _complete(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class AsyncIOEngine:
+    """Fixed pool of background writer threads."""
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self._queue: queue.Queue = queue.Queue()
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"async-io-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def submit(self, fn: Callable[[], Any], label: str = "") -> AsyncRequest:
+        """Queue ``fn`` for background execution; returns its handle."""
+        if self._shutdown:
+            raise InvalidStateError("async engine is shut down")
+        req = AsyncRequest(label)
+        self._queue.put((fn, req))
+        return req
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            fn, req = item
+            try:
+                req._complete(fn())
+            except BaseException as err:  # noqa: BLE001 - stored on the handle
+                req._fail(err)
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Drain the queue and stop the workers (idempotent)."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for t in self._threads:
+            t.join(timeout)
+
+    def __enter__(self) -> "AsyncIOEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+
+class EventSet:
+    """Groups async requests for bulk completion (HDF5 ``es_id`` analogue)."""
+
+    def __init__(self) -> None:
+        self._requests: list[AsyncRequest] = []
+        self._lock = threading.Lock()
+
+    def add(self, request: AsyncRequest) -> AsyncRequest:
+        """Track a request; returns it for chaining."""
+        with self._lock:
+            self._requests.append(request)
+        return request
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    @property
+    def n_pending(self) -> int:
+        """Requests not yet completed."""
+        return sum(not r.done for r in self._requests)
+
+    def wait_all(self, timeout: float | None = None) -> list[Any]:
+        """Wait for every tracked request; returns their values in order.
+
+        The first failure is re-raised after all requests have settled, so
+        no background work is abandoned mid-flight.
+        """
+        with self._lock:
+            requests = list(self._requests)
+        results: list[Any] = []
+        first_error: BaseException | None = None
+        for r in requests:
+            try:
+                results.append(r.wait(timeout))
+            except BaseException as err:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = err
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results

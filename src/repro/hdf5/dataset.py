@@ -1,0 +1,447 @@
+"""Datasets: contiguous, chunked+filtered, and declared-partition layouts.
+
+Three layouts cover the paper's three write paths:
+
+``contiguous``
+    Raw array bytes at one (offset, size) — the non-compression baseline.
+
+``chunked``
+    A chunk index mapping chunk coordinates to (offset, stored size); each
+    chunk passes through the filter pipeline — the H5Z-SZ baseline.  As in
+    parallel HDF5 with filters, writes must be whole-chunk.
+
+``declared``
+    The paper's deep integration: a partition table whose offsets and
+    reserved extents were computed *before compression* from predicted
+    sizes (plus extra space).  Ranks write their compressed streams
+    independently into their reserved slots; payload beyond the slot is
+    redirected by the caller to an overflow region at end-of-file and
+    recorded per partition.  The table itself is the "metadata for the
+    decompression purpose" the paper describes (≈ KBs, negligible).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import FileFormatError, HDF5Error, InvalidStateError
+from repro.hdf5.datatype import dtype_from_tag, dtype_tag
+from repro.hdf5.filters import FilterPipeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hdf5.file import File
+
+
+class PartitionEntry:
+    """One declared partition slot."""
+
+    __slots__ = (
+        "index",
+        "offset",
+        "reserved",
+        "actual",
+        "overflow_offset",
+        "overflow_nbytes",
+        "region",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        offset: int,
+        reserved: int,
+        actual: int = 0,
+        overflow_offset: int = 0,
+        overflow_nbytes: int = 0,
+        region: list | None = None,
+    ) -> None:
+        self.index = index
+        self.offset = offset
+        self.reserved = reserved
+        self.actual = actual
+        self.overflow_offset = overflow_offset
+        self.overflow_nbytes = overflow_nbytes
+        self.region = region
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "offset": self.offset,
+            "reserved": self.reserved,
+            "actual": self.actual,
+            "overflow_offset": self.overflow_offset,
+            "overflow_nbytes": self.overflow_nbytes,
+            "region": self.region,
+        }
+
+    @classmethod
+    def from_json(cls, blob: dict) -> "PartitionEntry":
+        return cls(**blob)
+
+
+class Dataset:
+    """An n-dimensional array object inside a :class:`~repro.hdf5.file.File`."""
+
+    def __init__(
+        self,
+        file: "File",
+        path: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        layout: str = "contiguous",
+        chunks: tuple[int, ...] | None = None,
+        filters: FilterPipeline | None = None,
+    ) -> None:
+        if layout not in ("contiguous", "chunked", "declared"):
+            raise HDF5Error(f"unknown layout {layout!r}")
+        if layout == "chunked" and chunks is None:
+            raise HDF5Error("chunked layout requires a chunk shape")
+        if layout == "chunked" and len(chunks) != len(shape):
+            raise HDF5Error("chunk rank must match dataset rank")
+        self.file = file
+        self.path = path
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        dtype_tag(self.dtype)  # validate early
+        self.layout = layout
+        self.chunks = tuple(int(c) for c in chunks) if chunks else None
+        self.filters = filters or FilterPipeline()
+        self.attrs: dict = {}
+        self._lock = threading.Lock()
+        # contiguous state
+        self._data_offset: int | None = None
+        # chunked state: "i,j,k" -> [offset, stored_nbytes]
+        self._chunk_index: dict[str, list[int]] = {}
+        # declared state
+        self._partitions: dict[int, PartitionEntry] = {}
+
+    # -- common -------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        """Logical (uncompressed) size in bytes."""
+        return self.size * self.dtype.itemsize
+
+    def _require_writable(self) -> None:
+        self.file.require_writable()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Dataset {self.path!r} shape={self.shape} dtype={self.dtype} layout={self.layout}>"
+
+    # -- contiguous layout ---------------------------------------------------
+
+    def write(self, data: np.ndarray) -> None:
+        """Write the full array (contiguous layout only)."""
+        if self.layout != "contiguous":
+            raise HDF5Error(f"write() requires contiguous layout, not {self.layout}")
+        self._require_writable()
+        data = np.ascontiguousarray(data, dtype=self.dtype)
+        if data.shape != self.shape:
+            raise HDF5Error(f"shape mismatch: {data.shape} != {self.shape}")
+        with self._lock:
+            if self._data_offset is None:
+                self._data_offset = self.file.storage.allocate(self.nbytes)
+        self.file.storage.write_at(data.tobytes(), self._data_offset)
+
+    def write_slab(self, data: np.ndarray, start: Sequence[int]) -> None:
+        """Write a hyperslab at element coordinates ``start`` (contiguous).
+
+        The slab must be contiguous in file order, i.e. it must span full
+        trailing dimensions (the common row-block decomposition); this is
+        the restriction that makes independent parallel writes trivial.
+        """
+        if self.layout != "contiguous":
+            raise HDF5Error("write_slab() requires contiguous layout")
+        self._require_writable()
+        data = np.ascontiguousarray(data, dtype=self.dtype)
+        if len(start) != len(self.shape):
+            raise HDF5Error("start rank mismatch")
+        if data.shape[1:] != self.shape[1:] or any(s != 0 for s in start[1:]):
+            raise HDF5Error("slab must span full trailing dimensions")
+        if start[0] + data.shape[0] > self.shape[0]:
+            raise HDF5Error("slab out of bounds")
+        with self._lock:
+            if self._data_offset is None:
+                self._data_offset = self.file.storage.allocate(self.nbytes)
+        row_bytes = self.nbytes // self.shape[0] if self.shape[0] else 0
+        self.file.storage.write_at(
+            data.tobytes(), self._data_offset + start[0] * row_bytes
+        )
+
+    def read(self) -> np.ndarray:
+        """Read the full array back (any layout)."""
+        if self.layout == "contiguous":
+            if self._data_offset is None:
+                raise InvalidStateError("dataset has no data yet")
+            blob = self.file.storage.read_at(self.nbytes, self._data_offset)
+            if len(blob) != self.nbytes:
+                raise FileFormatError("contiguous data truncated")
+            return np.frombuffer(blob, dtype=self.dtype).reshape(self.shape).copy()
+        if self.layout == "chunked":
+            return self._read_chunked()
+        return self._read_declared()
+
+    # -- chunked layout ------------------------------------------------------
+
+    def _chunk_key(self, coords: Sequence[int]) -> str:
+        return ",".join(str(int(c)) for c in coords)
+
+    def _chunk_slices(self, coords: Sequence[int]) -> tuple[slice, ...]:
+        return tuple(
+            slice(c * ch, min((c + 1) * ch, s))
+            for c, ch, s in zip(coords, self.chunks, self.shape)
+        )
+
+    def write_chunk(self, coords: Sequence[int], data: np.ndarray) -> int:
+        """Write one whole chunk through the filter pipeline.
+
+        Returns the stored (post-filter) size in bytes.
+        """
+        if self.layout != "chunked":
+            raise HDF5Error("write_chunk() requires chunked layout")
+        self._require_writable()
+        if len(coords) != len(self.shape):
+            raise HDF5Error("chunk coordinate rank mismatch")
+        slices = self._chunk_slices(coords)
+        expected = tuple(s.stop - s.start for s in slices)
+        if any(s.start >= dim for s, dim in zip(slices, self.shape)):
+            raise HDF5Error(f"chunk {tuple(coords)} out of bounds")
+        data = np.ascontiguousarray(data, dtype=self.dtype)
+        if data.shape != expected:
+            raise HDF5Error(f"chunk shape mismatch: {data.shape} != {expected}")
+        payload = self.filters.apply(data) if self.filters else data.tobytes()
+        offset = self.file.storage.allocate(len(payload))
+        self.file.storage.write_at(payload, offset)
+        with self._lock:
+            self._chunk_index[self._chunk_key(coords)] = [offset, len(payload)]
+        return len(payload)
+
+    def read_chunk(self, coords: Sequence[int]) -> np.ndarray:
+        """Read one chunk back through the filter pipeline."""
+        if self.layout != "chunked":
+            raise HDF5Error("read_chunk() requires chunked layout")
+        key = self._chunk_key(coords)
+        try:
+            offset, stored = self._chunk_index[key]
+        except KeyError:
+            raise InvalidStateError(f"chunk {key} was never written") from None
+        payload = self.file.storage.read_at(stored, offset)
+        slices = self._chunk_slices(coords)
+        shape = tuple(s.stop - s.start for s in slices)
+        if self.filters:
+            return self.filters.invert(payload, shape, dtype_tag(self.dtype))
+        return np.frombuffer(payload, dtype=self.dtype).reshape(shape).copy()
+
+    def _read_chunked(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.dtype)
+        counts = [-(-s // c) for s, c in zip(self.shape, self.chunks)]
+        total = int(np.prod(counts)) if counts else 0
+        for flat in range(total):
+            coords = []
+            rem = flat
+            for c in reversed(counts):
+                coords.append(rem % c)
+                rem //= c
+            coords.reverse()
+            if self._chunk_key(coords) in self._chunk_index:
+                out[self._chunk_slices(coords)] = self.read_chunk(coords)
+        return out
+
+    @property
+    def stored_nbytes(self) -> int:
+        """Bytes of file space this dataset occupies (compressed/reserved)."""
+        if self.layout == "contiguous":
+            return self.nbytes if self._data_offset is not None else 0
+        if self.layout == "chunked":
+            return sum(v[1] for v in self._chunk_index.values())
+        return sum(p.reserved + p.overflow_nbytes for p in self._partitions.values())
+
+    # -- declared layout -----------------------------------------------------
+
+    def declare_partitions(
+        self,
+        offsets: Sequence[int],
+        reserved: Sequence[int],
+        regions: Sequence | None = None,
+    ) -> None:
+        """Install the pre-computed partition table (paper Section III-D).
+
+        ``offsets``/``reserved`` come from the all-gathered predicted sizes
+        plus extra space; every rank computes the same table, so this call
+        is idempotent across ranks as long as the tables agree.
+        """
+        if self.layout != "declared":
+            raise HDF5Error("declare_partitions() requires declared layout")
+        self._require_writable()
+        if len(offsets) != len(reserved):
+            raise HDF5Error("offsets/reserved length mismatch")
+        if regions is not None and len(regions) != len(offsets):
+            raise HDF5Error("regions length mismatch")
+        entries = {}
+        prev_end = None
+        for i, (off, res) in enumerate(zip(offsets, reserved)):
+            if res < 0 or off < 0:
+                raise HDF5Error("negative offset/reservation")
+            if prev_end is not None and off < prev_end:
+                raise HDF5Error("partition slots overlap")
+            prev_end = off + res
+            entries[i] = PartitionEntry(
+                index=i,
+                offset=int(off),
+                reserved=int(res),
+                region=list(regions[i]) if regions is not None else None,
+            )
+        with self._lock:
+            if self._partitions:
+                # Idempotent re-declaration must match exactly.
+                if len(self._partitions) != len(entries) or any(
+                    self._partitions[i].offset != e.offset
+                    or self._partitions[i].reserved != e.reserved
+                    for i, e in entries.items()
+                ):
+                    raise HDF5Error("conflicting partition re-declaration")
+                return
+            self._partitions = entries
+        if entries:
+            last = entries[len(entries) - 1]
+            self.file.storage.place_at(
+                min(e.offset for e in entries.values()),
+                last.offset + last.reserved - min(e.offset for e in entries.values()),
+            )
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of declared partitions."""
+        return len(self._partitions)
+
+    def partition(self, index: int) -> PartitionEntry:
+        """The table entry for one partition."""
+        try:
+            return self._partitions[index]
+        except KeyError:
+            raise InvalidStateError(f"partition {index} not declared") from None
+
+    def write_partition(self, index: int, payload: bytes) -> int:
+        """Write a compressed stream into its reserved slot.
+
+        Writes what fits; returns the number of *overflow* bytes that did
+        not fit (0 in the common case).  The caller redirects the tail via
+        :meth:`write_partition_overflow` — mirroring the paper's Fig. 8.
+        """
+        self._require_writable()
+        entry = self.partition(index)
+        fits = min(len(payload), entry.reserved)
+        if fits:
+            self.file.storage.write_at(payload[:fits], entry.offset)
+        with self._lock:
+            entry.actual = len(payload)
+        return len(payload) - fits
+
+    def write_partition_overflow(self, index: int, tail: bytes, offset: int) -> None:
+        """Store the overflow tail at an externally computed file offset."""
+        self._require_writable()
+        entry = self.partition(index)
+        expected_tail = max(0, entry.actual - entry.reserved)
+        if len(tail) != expected_tail:
+            raise HDF5Error(
+                f"overflow tail size {len(tail)} != expected {expected_tail}"
+            )
+        self.file.storage.write_at(tail, offset)
+        self.file.storage.place_at(offset, len(tail))
+        with self._lock:
+            entry.overflow_offset = offset
+            entry.overflow_nbytes = len(tail)
+
+    def read_partition(self, index: int) -> bytes:
+        """Reassemble one partition's stream (slot + overflow tail)."""
+        entry = self.partition(index)
+        if entry.actual == 0:
+            raise InvalidStateError(f"partition {index} was never written")
+        main = self.file.storage.read_at(min(entry.actual, entry.reserved), entry.offset)
+        if entry.actual > entry.reserved:
+            if entry.overflow_nbytes != entry.actual - entry.reserved:
+                raise FileFormatError(f"partition {index} overflow missing")
+            tail = self.file.storage.read_at(entry.overflow_nbytes, entry.overflow_offset)
+            return main + tail
+        return main
+
+    def read_partition_array(self, index: int) -> np.ndarray:
+        """Decode one partition through the (array) filter pipeline."""
+        payload = self.read_partition(index)
+        if not self.filters.has_array_filter:
+            raise HDF5Error("declared dataset has no array filter to decode with")
+        entry = self.partition(index)
+        shape = (
+            tuple(b - a for a, b in entry.region)
+            if entry.region
+            else None
+        )
+        data = self.filters.invert(payload, shape or (), dtype_tag(self.dtype))
+        return data
+
+    def _read_declared(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.dtype)
+        for index, entry in sorted(self._partitions.items()):
+            if entry.region is None:
+                raise HDF5Error("cannot reassemble: partitions carry no regions")
+            data = self.read_partition_array(index)
+            sl = tuple(slice(a, b) for a, b in entry.region)
+            out[sl] = data
+        return out
+
+    # -- footer serialization -------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Footer representation of this dataset's metadata."""
+        blob = {
+            "shape": list(self.shape),
+            "dtype": dtype_tag(self.dtype),
+            "layout": self.layout,
+            "chunks": list(self.chunks) if self.chunks else None,
+            "filters": self.filters.to_json(),
+            "attrs": dict(self.attrs),
+        }
+        if self.layout == "contiguous":
+            blob["data_offset"] = self._data_offset
+        elif self.layout == "chunked":
+            blob["chunk_index"] = dict(self._chunk_index)
+        else:
+            blob["partitions"] = [
+                e.to_json() for _, e in sorted(self._partitions.items())
+            ]
+        return blob
+
+    @classmethod
+    def from_json(cls, file: "File", path: str, blob: dict) -> "Dataset":
+        """Rebuild a dataset object from footer metadata."""
+        ds = cls(
+            file=file,
+            path=path,
+            shape=tuple(blob["shape"]),
+            dtype=dtype_from_tag(blob["dtype"]),
+            layout=blob["layout"],
+            chunks=tuple(blob["chunks"]) if blob.get("chunks") else None,
+            filters=FilterPipeline.from_json(blob.get("filters", [])),
+        )
+        ds.attrs = dict(blob.get("attrs", {}))
+        if ds.layout == "contiguous":
+            ds._data_offset = blob.get("data_offset")
+        elif ds.layout == "chunked":
+            ds._chunk_index = {k: list(v) for k, v in blob.get("chunk_index", {}).items()}
+        else:
+            for e in blob.get("partitions", []):
+                entry = PartitionEntry.from_json(e)
+                ds._partitions[entry.index] = entry
+        return ds

@@ -1,0 +1,43 @@
+"""Datatype mapping between numpy dtypes and portable string tags.
+
+The JSON footer stores dtypes as explicit little-endian tags so files are
+byte-portable; only the types scientific dumps actually use are allowed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FileFormatError
+
+_SUPPORTED = {
+    "<f4": np.dtype("<f4"),
+    "<f8": np.dtype("<f8"),
+    "<i1": np.dtype("<i1"),
+    "<i2": np.dtype("<i2"),
+    "<i4": np.dtype("<i4"),
+    "<i8": np.dtype("<i8"),
+    "<u1": np.dtype("<u1"),
+    "<u2": np.dtype("<u2"),
+    "<u4": np.dtype("<u4"),
+    "<u8": np.dtype("<u8"),
+}
+
+
+def dtype_tag(dtype: np.dtype | type) -> str:
+    """Portable tag for a numpy dtype (raises for unsupported types)."""
+    dt = np.dtype(dtype).newbyteorder("<")
+    tag = dt.str.lstrip("|").replace("|", "<")
+    if tag.startswith("i") or tag.startswith("u"):  # '|i1' style
+        tag = "<" + tag
+    if tag not in _SUPPORTED:
+        raise FileFormatError(f"unsupported dtype {np.dtype(dtype)}")
+    return tag
+
+
+def dtype_from_tag(tag: str) -> np.dtype:
+    """Inverse of :func:`dtype_tag`."""
+    try:
+        return _SUPPORTED[tag]
+    except KeyError:
+        raise FileFormatError(f"unknown dtype tag {tag!r}") from None

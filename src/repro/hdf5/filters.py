@@ -1,0 +1,197 @@
+"""Dynamically registered filter pipeline (H5Z analogue).
+
+HDF5 filters transform chunk buffers on the way to/from storage and are
+identified by numeric ids; H5Z-SZ registers SZ under id 32017 and H5Z-ZFP
+uses 32013 — we keep the same ids so configurations read naturally.
+
+A :class:`FilterPipeline` is an ordered list of :class:`FilterSpec`; apply
+runs front-to-back on write, invert runs back-to-front on read.  Array
+filters (SZ/ZFP) must be first in the pipeline since they consume the
+ndarray; byte filters (shuffle/deflate) operate on the byte stream after.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.compression.codec import get_codec
+from repro.errors import FilterError
+from repro.hdf5.datatype import dtype_from_tag, dtype_tag
+
+#: HDF5-registered ids (matching the real registry where one exists).
+FILTER_DEFLATE = 1
+FILTER_SHUFFLE = 2
+FILTER_SZ = 32017
+FILTER_ZFP = 32013
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """One pipeline stage: a registered filter id plus its options."""
+
+    filter_id: int
+    options: dict = field(default_factory=dict)
+
+    def to_json(self) -> list:
+        """Footer representation."""
+        return [self.filter_id, dict(self.options)]
+
+    @classmethod
+    def from_json(cls, blob: list) -> "FilterSpec":
+        return cls(filter_id=int(blob[0]), options=dict(blob[1]))
+
+
+class _FilterImpl:
+    """Registered behaviour for one filter id."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,  # "array" (ndarray -> bytes) or "bytes" (bytes -> bytes)
+        apply: Callable,
+        invert: Callable,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.apply = apply
+        self.invert = invert
+
+
+_REGISTRY: dict[int, _FilterImpl] = {}
+
+
+def register_filter(filter_id: int, name: str, kind: str, apply: Callable, invert: Callable) -> None:
+    """Register a filter implementation under a numeric id."""
+    if kind not in ("array", "bytes"):
+        raise FilterError("kind must be 'array' or 'bytes'")
+    _REGISTRY[filter_id] = _FilterImpl(name, kind, apply, invert)
+
+
+def available_filters() -> dict[int, str]:
+    """Mapping of registered ids to names."""
+    return {fid: impl.name for fid, impl in sorted(_REGISTRY.items())}
+
+
+def _lookup(filter_id: int) -> _FilterImpl:
+    try:
+        return _REGISTRY[filter_id]
+    except KeyError:
+        raise FilterError(f"unknown filter id {filter_id}") from None
+
+
+# -- built-in byte filters ---------------------------------------------------
+
+
+def _deflate_apply(payload: bytes, options: dict) -> bytes:
+    return zlib.compress(payload, options.get("level", 4))
+
+
+def _deflate_invert(payload: bytes, options: dict) -> bytes:
+    return zlib.decompress(payload)
+
+
+def _shuffle_apply(payload: bytes, options: dict) -> bytes:
+    size = options.get("itemsize", 4)
+    arr = np.frombuffer(payload, dtype=np.uint8)
+    if size <= 1 or arr.size % size:
+        return payload
+    return arr.reshape(-1, size).T.copy().tobytes()
+
+
+def _shuffle_invert(payload: bytes, options: dict) -> bytes:
+    size = options.get("itemsize", 4)
+    arr = np.frombuffer(payload, dtype=np.uint8)
+    if size <= 1 or arr.size % size:
+        return payload
+    return arr.reshape(size, -1).T.copy().tobytes()
+
+
+# -- built-in array filters (lossy codecs) -----------------------------------
+
+
+def _sz_apply(data: np.ndarray, options: dict) -> bytes:
+    codec = get_codec("sz", **options)
+    return codec.compress(data)
+
+
+def _sz_invert(payload: bytes, options: dict) -> np.ndarray:
+    codec = get_codec("sz", **options)
+    return codec.decompress(payload)
+
+
+def _zfp_apply(data: np.ndarray, options: dict) -> bytes:
+    codec = get_codec("zfp", **options)
+    return codec.compress(data)
+
+
+def _zfp_invert(payload: bytes, options: dict) -> np.ndarray:
+    codec = get_codec("zfp", **options)
+    return codec.decompress(payload)
+
+
+register_filter(FILTER_DEFLATE, "deflate", "bytes", _deflate_apply, _deflate_invert)
+register_filter(FILTER_SHUFFLE, "shuffle", "bytes", _shuffle_apply, _shuffle_invert)
+register_filter(FILTER_SZ, "sz", "array", _sz_apply, _sz_invert)
+register_filter(FILTER_ZFP, "zfp", "array", _zfp_apply, _zfp_invert)
+
+
+class FilterPipeline:
+    """Ordered filter chain applied to chunk buffers."""
+
+    def __init__(self, specs: tuple[FilterSpec, ...] | list[FilterSpec] = ()) -> None:
+        self.specs = tuple(specs)
+        for i, spec in enumerate(self.specs):
+            impl = _lookup(spec.filter_id)
+            if impl.kind == "array" and i != 0:
+                raise FilterError(
+                    f"array filter {impl.name!r} must be first in the pipeline"
+                )
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @property
+    def has_array_filter(self) -> bool:
+        """True if the first stage consumes the ndarray itself."""
+        return bool(self.specs) and _lookup(self.specs[0].filter_id).kind == "array"
+
+    def apply(self, data: np.ndarray) -> bytes:
+        """Run the pipeline forward: ndarray -> stored chunk bytes."""
+        specs = list(self.specs)
+        if self.has_array_filter:
+            spec = specs.pop(0)
+            payload = _lookup(spec.filter_id).apply(data, spec.options)
+        else:
+            payload = np.ascontiguousarray(data).tobytes()
+        for spec in specs:
+            payload = _lookup(spec.filter_id).apply(payload, spec.options)
+        return payload
+
+    def invert(self, payload: bytes, shape: tuple[int, ...], dtype_str: str) -> np.ndarray:
+        """Run the pipeline backward: stored chunk bytes -> ndarray."""
+        specs = list(self.specs)
+        array_spec = specs.pop(0) if self.has_array_filter else None
+        for spec in reversed(specs):
+            payload = _lookup(spec.filter_id).invert(payload, spec.options)
+        if array_spec is not None:
+            data = _lookup(array_spec.filter_id).invert(payload, array_spec.options)
+            if tuple(data.shape) != tuple(shape):
+                raise FilterError("array filter returned wrong shape")
+            return data
+        dt = dtype_from_tag(dtype_str)
+        expected = int(np.prod(shape)) * dt.itemsize
+        if len(payload) != expected:
+            raise FilterError("chunk byte length mismatch")
+        return np.frombuffer(payload, dtype=dt).reshape(shape).copy()
+
+    def to_json(self) -> list:
+        """Footer representation."""
+        return [s.to_json() for s in self.specs]
+
+    @classmethod
+    def from_json(cls, blob: list) -> "FilterPipeline":
+        return cls(tuple(FilterSpec.from_json(b) for b in blob))

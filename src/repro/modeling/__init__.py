@@ -1,0 +1,37 @@
+"""Prediction models: compression ratio, compression throughput, write time.
+
+These three models are what make the paper's scheme *predictive*:
+
+* :mod:`sampling` + :mod:`ratio_model` — the sampling-based ratio-quality
+  model (Jin et al., arXiv:2111.09815) estimating each partition's
+  compressed size *without compressing it* (paper Section III-B, first
+  paragraph; <10% overhead relative to compression);
+* :mod:`throughput_model` — the paper's new power-law compression-throughput
+  model, Eq. (1), with the min/max throughput bounds of Figs. 5-6;
+* :mod:`write_model` — the stable-throughput write-time estimate, Eq. (2),
+  plus the saturating ramp curve of Fig. 7;
+* :mod:`calibration` — offline fitting workflows (paper Section IV-B).
+"""
+
+from repro.modeling.calibration import (
+    calibrate_throughput_model,
+    calibrate_write_throughput,
+    measure_compression_points,
+)
+from repro.modeling.ratio_model import RatioPrediction, RatioQualityModel
+from repro.modeling.sampling import SampleStats, sample_partition_stats
+from repro.modeling.throughput_model import PowerLawThroughputModel
+from repro.modeling.write_model import RampWriteModel, StableWriteModel
+
+__all__ = [
+    "SampleStats",
+    "sample_partition_stats",
+    "RatioPrediction",
+    "RatioQualityModel",
+    "PowerLawThroughputModel",
+    "StableWriteModel",
+    "RampWriteModel",
+    "calibrate_throughput_model",
+    "calibrate_write_throughput",
+    "measure_compression_points",
+]

@@ -1,0 +1,105 @@
+"""Compression-throughput prediction — the paper's Eq. (1).
+
+The paper models single-core compression throughput as a power function of
+the compressed bit-rate ``B``::
+
+    S(B) = (Cmax - Cmin) * 3^(-a) * B^a + Cmin ,   a < 0
+
+normalized so that ``S(3) = Cmax``; the hyper-parameter 3 "is based on our
+experiment that yields the best result" (Section III-B).  Since a power
+function with a < 0 diverges as B → 0 while real throughput is bounded by
+the prediction/quantization pass, we clamp the prediction to
+``[Cmin, Cmax]`` — matching the bounded band of Figs. 5-6.
+
+Fitting (:meth:`PowerLawThroughputModel.fit`) mirrors the paper's offline
+procedure (Section IV-B): ``Cmin``/``Cmax`` come from the observed extremes
+and the shape ``a`` from a least-squares fit; the paper's own fit on Bebop
+baryon density is (101.7, 240.6, -1.716).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CalibrationError, ModelingError
+
+_BYTES_PER_VALUE = 4.0
+
+
+@dataclass(frozen=True)
+class PowerLawThroughputModel:
+    """Eq. (1) with fitted constants (throughputs in MB/s of original data)."""
+
+    cmin_mbps: float
+    cmax_mbps: float
+    a: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cmin_mbps <= self.cmax_mbps:
+            raise ModelingError("need 0 < cmin <= cmax")
+        if self.a >= 0:
+            raise ModelingError("shape parameter a must be negative")
+
+    def throughput_mbps(self, bit_rate: float) -> float:
+        """Predicted throughput at a compressed bit-rate (clamped to band)."""
+        if bit_rate < 0:
+            raise ModelingError("negative bit rate")
+        if bit_rate == 0.0:
+            return self.cmax_mbps
+        span = self.cmax_mbps - self.cmin_mbps
+        s = span * (3.0 ** (-self.a)) * (bit_rate**self.a) + self.cmin_mbps
+        return float(np.clip(s, self.cmin_mbps, self.cmax_mbps))
+
+    def predict_seconds(
+        self, n_values: int, bit_rate: float, bytes_per_value: float = _BYTES_PER_VALUE
+    ) -> float:
+        """Predicted compression time: D / S (paper Eq. (1) left-hand side)."""
+        if n_values < 0:
+            raise ModelingError("negative value count")
+        mbps = self.throughput_mbps(bit_rate)
+        return n_values * bytes_per_value / (mbps * 1e6)
+
+    @classmethod
+    def fit(
+        cls, bit_rates: np.ndarray, throughputs_mbps: np.ndarray
+    ) -> "PowerLawThroughputModel":
+        """Fit (Cmin, Cmax, a) to measured (bit-rate, throughput) points.
+
+        Cmin/Cmax are taken from the observed extremes (as the paper does);
+        ``a`` minimizes squared error over a dense log-grid refined once —
+        deterministic, dependency-free, and robust to the clamped regions.
+        """
+        b = np.asarray(bit_rates, dtype=np.float64)
+        t = np.asarray(throughputs_mbps, dtype=np.float64)
+        if b.shape != t.shape or b.ndim != 1 or b.size < 3:
+            raise CalibrationError("need >= 3 paired samples")
+        if np.any(b <= 0) or np.any(t <= 0):
+            raise CalibrationError("bit-rates and throughputs must be positive")
+        cmin, cmax = float(t.min()), float(t.max())
+        if cmin == cmax:
+            # Flat response: any shape fits; use a mild default.
+            return cls(cmin * 0.999, cmax, -1.0)
+
+        def sse(a: float) -> float:
+            span = cmax - cmin
+            pred = np.clip(span * (3.0 ** (-a)) * (b**a) + cmin, cmin, cmax)
+            return float(np.sum((pred - t) ** 2))
+
+        grid = -np.logspace(np.log10(0.05), np.log10(8.0), 200)
+        best = min(grid, key=sse)
+        # One local refinement pass around the best grid point.
+        fine = np.linspace(best * 1.3, best * 0.7, 200)
+        fine = fine[fine < 0]
+        best = min(fine, key=sse)
+        return cls(cmin, cmax, float(best))
+
+    def relative_errors(
+        self, bit_rates: np.ndarray, throughputs_mbps: np.ndarray
+    ) -> np.ndarray:
+        """|predicted - measured| / measured per sample (fit-quality metric)."""
+        b = np.asarray(bit_rates, dtype=np.float64)
+        t = np.asarray(throughputs_mbps, dtype=np.float64)
+        pred = np.array([self.throughput_mbps(x) for x in b])
+        return np.abs(pred - t) / t

@@ -1,0 +1,76 @@
+"""Write-time prediction — the paper's Eq. (2).
+
+The paper argues (Section III-C) that write-time estimation needs far less
+accuracy than ratio estimation: a systematic error shifts every partition's
+estimate equally and does not change the *ordering* decisions.  So the
+model is deliberately simple::
+
+    T_write = (B * n) / Cthr            (Eq. 2)
+
+with ``B`` the predicted bit-rate, ``n`` the number of points and ``Cthr``
+a stable per-process write throughput measured offline (Fig. 7's plateau).
+
+:class:`RampWriteModel` is the richer saturating curve the *substrate*
+follows (and Fig. 7 plots); the gap between the two at small sizes is the
+low-bit-rate prediction error the paper points out under Fig. 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelingError
+
+
+@dataclass(frozen=True)
+class StableWriteModel:
+    """Eq. (2): constant-throughput write-time estimate."""
+
+    cthr_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.cthr_bytes_per_s <= 0:
+            raise ModelingError("Cthr must be positive")
+
+    def predict_seconds(self, n_values: int, bit_rate: float) -> float:
+        """T = (B·n/8) / Cthr for a partition of ``n_values`` points."""
+        if n_values < 0 or bit_rate < 0:
+            raise ModelingError("negative inputs")
+        nbytes = bit_rate * n_values / 8.0
+        return nbytes / self.cthr_bytes_per_s
+
+    def predict_seconds_for_bytes(self, nbytes: float) -> float:
+        """Same estimate expressed directly in bytes."""
+        if nbytes < 0:
+            raise ModelingError("negative size")
+        return nbytes / self.cthr_bytes_per_s
+
+
+@dataclass(frozen=True)
+class RampWriteModel:
+    """Saturating per-process write throughput W(s) = Wmax·s / (s + s_half).
+
+    ``s_half`` is the request size at which half the peak throughput is
+    reached; with a latency-dominated file system ``s_half = Wmax·latency``.
+    """
+
+    wmax_bytes_per_s: float
+    s_half_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.wmax_bytes_per_s <= 0 or self.s_half_bytes < 0:
+            raise ModelingError("invalid ramp parameters")
+
+    def throughput(self, nbytes: float) -> float:
+        """Average throughput for one write of ``nbytes``."""
+        if nbytes < 0:
+            raise ModelingError("negative size")
+        if nbytes == 0:
+            return 0.0
+        return self.wmax_bytes_per_s * nbytes / (nbytes + self.s_half_bytes)
+
+    def seconds(self, nbytes: float) -> float:
+        """Time for one write of ``nbytes``."""
+        if nbytes == 0:
+            return 0.0
+        return nbytes / self.throughput(nbytes)

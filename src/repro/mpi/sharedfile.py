@@ -1,0 +1,106 @@
+"""Positioned I/O on one shared file (MPI-IO stand-in).
+
+Thread ranks write to a single file with explicit offsets via ``os.pwrite``
+/ ``os.pread`` — the same independent-write primitive MPI-IO offers and the
+paper's pipeline relies on.  ``pwrite`` at distinct offsets needs no
+locking; metadata operations (resize, size) take a lock.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.errors import InvalidStateError
+
+
+class SharedFile:
+    """One shared file opened for positioned reads/writes."""
+
+    def __init__(self, path: str, mode: str = "w+") -> None:
+        if mode not in ("w+", "r+", "r"):
+            raise ValueError(f"unsupported mode {mode!r}")
+        flags = {
+            "w+": os.O_RDWR | os.O_CREAT | os.O_TRUNC,
+            "r+": os.O_RDWR,
+            "r": os.O_RDONLY,
+        }[mode]
+        self.path = path
+        self._fd: int | None = os.open(path, flags, 0o644)
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the descriptor (idempotent)."""
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "SharedFile":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran."""
+        return self._fd is None
+
+    def _require_fd(self) -> int:
+        fd = self._fd
+        if fd is None:
+            raise InvalidStateError(f"file {self.path} is closed")
+        return fd
+
+    # -- positioned I/O -----------------------------------------------------
+
+    def pwrite(self, data: bytes, offset: int) -> int:
+        """Write ``data`` at ``offset``; returns bytes written.
+
+        Thread-safe for non-overlapping regions without locking (POSIX
+        pwrite semantics).
+        """
+        if offset < 0:
+            raise ValueError("negative offset")
+        fd = self._require_fd()
+        view = memoryview(data)
+        written = 0
+        while written < len(view):
+            written += os.pwrite(fd, view[written:], offset + written)
+        return written
+
+    def pread(self, nbytes: int, offset: int) -> bytes:
+        """Read up to ``nbytes`` at ``offset`` (short only at EOF)."""
+        if offset < 0 or nbytes < 0:
+            raise ValueError("negative offset or size")
+        fd = self._require_fd()
+        chunks = []
+        got = 0
+        while got < nbytes:
+            chunk = os.pread(fd, nbytes - got, offset + got)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            got += len(chunk)
+        return b"".join(chunks)
+
+    # -- metadata -----------------------------------------------------------
+
+    def size(self) -> int:
+        """Current file size in bytes."""
+        fd = self._require_fd()
+        return os.fstat(fd).st_size
+
+    def truncate(self, nbytes: int) -> None:
+        """Set the file length (extends with zeros or cuts)."""
+        if nbytes < 0:
+            raise ValueError("negative size")
+        with self._lock:
+            os.ftruncate(self._require_fd(), nbytes)
+
+    def fsync(self) -> None:
+        """Flush to stable storage."""
+        os.fsync(self._require_fd())

@@ -1,0 +1,46 @@
+"""Discrete-event simulation substrate.
+
+The paper's timing results come from Summit (up to 4096 cores) and Bebop
+(512 cores); neither is available here, and Python threads cannot produce
+meaningful parallel timings anyway.  This package provides a deterministic
+discrete-event simulator with:
+
+* :mod:`engine` — a minimal generator-based process/event engine (SimPy-like);
+* :mod:`resources` — a fluid fair-share bandwidth resource (concurrent flows
+  split capacity, optionally per-flow capped) modelling I/O contention;
+* :mod:`filesystem` — a parallel-file-system model (per-process ramp curve,
+  aggregate cap, independent vs. collective write semantics);
+* :mod:`network` — latency/bandwidth models for allgather and barrier;
+* :mod:`costmodel` — a stage-level ground-truth cost model for SZ compression
+  whose emergent throughput-vs-bit-rate curve is what the paper's Eq. (1)
+  approximates;
+* :mod:`machine` — Summit and Bebop machine profiles bundling all constants;
+* :mod:`trace` — timeline recording for the breakdown figures.
+"""
+
+from repro.sim.costmodel import SZCostModel
+from repro.sim.engine import Environment, Event, Interrupt, Process, Timeout
+from repro.sim.filesystem import ParallelFileSystem
+from repro.sim.machine import BEBOP, SUMMIT, MachineProfile, get_machine
+from repro.sim.network import CommModel
+from repro.sim.resources import FluidBandwidth, SimBarrier
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Timeout",
+    "FluidBandwidth",
+    "SimBarrier",
+    "ParallelFileSystem",
+    "CommModel",
+    "SZCostModel",
+    "MachineProfile",
+    "SUMMIT",
+    "BEBOP",
+    "get_machine",
+    "TraceRecord",
+    "TraceRecorder",
+]

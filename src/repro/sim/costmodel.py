@@ -1,0 +1,104 @@
+"""Stage-level ground-truth cost model for SZ compression time.
+
+The paper's Eq. (1) is a *fitted approximation* of how compression
+throughput varies with compressed bit-rate.  To reproduce its methodology
+honestly we need an underlying "real machine" whose behaviour Eq. (1) only
+approximates.  This model plays that role: it prices each pipeline stage the
+way the paper's Section III-B explains the throughput bounds —
+
+* a per-value cost for prediction + quantization (every point is always
+  visited → the throughput **upper** bound at tiny bit-rates);
+* a per-output-byte cost for Huffman encoding and the lossless pass (more
+  bits emitted → slower, approaching the **lower** bound at high bit-rates);
+* a per-outlier surcharge (unpredictable values are stored raw);
+* a tree-build cost growing with the number of distinct symbols.
+
+Coefficients are derived from a machine profile's ``(Cmin, Cmax)`` single-
+core MB/s bounds for 32-bit data (paper Fig. 5/6: roughly 120-250 MB/s),
+plus optional multiplicative log-normal noise so "measured" points scatter
+like Figs. 11/12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.utils.rng import resolve_rng
+
+_BYTES_PER_VALUE = 4.0  # single-precision input, as in the paper
+
+
+@dataclass(frozen=True)
+class SZCostModel:
+    """Ground-truth compression-time model for one machine.
+
+    Parameters
+    ----------
+    cmin_mbps / cmax_mbps:
+        Single-core throughput bounds (MB/s of original data) at bit-rate
+        32 and bit-rate → 0 respectively.
+    tree_seconds_per_symbol:
+        Huffman-tree build cost per distinct symbol.
+    outlier_seconds:
+        Extra cost per escaped (unpredictable) value.
+    noise:
+        Sigma of multiplicative log-normal timing noise (0 disables).
+    """
+
+    cmin_mbps: float = 101.7  # paper Section IV-B, Bebop fit
+    cmax_mbps: float = 240.6
+    tree_seconds_per_symbol: float = 3.0e-8
+    outlier_seconds: float = 4.0e-8
+    noise: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cmin_mbps < self.cmax_mbps:
+            raise SimulationError("need 0 < cmin < cmax")
+
+    @property
+    def _per_value_seconds(self) -> float:
+        """Base pass cost per value (sets the Cmax asymptote)."""
+        return _BYTES_PER_VALUE / (self.cmax_mbps * 1e6)
+
+    @property
+    def _per_output_byte_seconds(self) -> float:
+        """Encoding+lossless cost per compressed byte (sets Cmin at B=32)."""
+        cmin_s_per_value = _BYTES_PER_VALUE / (self.cmin_mbps * 1e6)
+        return (cmin_s_per_value - self._per_value_seconds) / _BYTES_PER_VALUE
+
+    def compression_seconds(
+        self,
+        n_values: int,
+        bit_rate: float,
+        n_outliers: int = 0,
+        n_unique_symbols: int = 256,
+        rng: np.random.Generator | int | None = None,
+    ) -> float:
+        """Time to compress ``n_values`` at the given compressed bit-rate."""
+        if n_values < 0:
+            raise SimulationError("negative value count")
+        if bit_rate < 0:
+            raise SimulationError("negative bit rate")
+        t = (
+            n_values * self._per_value_seconds
+            + n_values * (bit_rate / 8.0) * self._per_output_byte_seconds
+            + n_outliers * self.outlier_seconds
+            + n_unique_symbols * self.tree_seconds_per_symbol
+        )
+        if self.noise > 0:
+            g = resolve_rng(rng)
+            t *= float(np.exp(g.normal(0.0, self.noise)))
+        return t
+
+    def throughput_mbps(self, bit_rate: float, **kwargs) -> float:
+        """Emergent throughput (MB/s of original data) at a bit-rate."""
+        n = 1_000_000
+        t = self.compression_seconds(n, bit_rate, **kwargs)
+        return n * _BYTES_PER_VALUE / t / 1e6
+
+    def bounds_mbps(self) -> tuple[float, float]:
+        """(min, max) emergent throughput over bit-rates [0, 32]."""
+        return (self.throughput_mbps(32.0, n_unique_symbols=0), self.throughput_mbps(0.0, n_unique_symbols=0))

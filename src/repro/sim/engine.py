@@ -1,0 +1,282 @@
+"""Minimal generator-based discrete-event engine.
+
+A deliberately small SimPy-style core: *processes* are Python generators
+that ``yield`` :class:`Event` objects and are resumed (with the event's
+value) when the event triggers.  The :class:`Environment` owns the clock and
+the event heap; everything is deterministic — ties are broken by schedule
+order, never by wall time or hashing.
+
+Only the features the writers need are implemented: timeouts, manually
+triggered events, process join, all-of conditions, and failure propagation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+class Interrupt(SimulationError):
+    """Raised inside a process that was interrupted by another process."""
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    An event starts *pending*, is *triggered* with a value (or failure) and
+    then has its callbacks run by the environment when the clock reaches its
+    scheduled time.
+    """
+
+    __slots__ = ("env", "callbacks", "_triggered", "_processed", "_value", "_failed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._triggered = False
+        self._processed = False
+        self._value: Any = None
+        self._failed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on (or past) the heap."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception for failed events)."""
+        return self._value
+
+    @property
+    def failed(self) -> bool:
+        """True if the event carries an exception."""
+        return self._failed
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` sim-seconds."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiting processes will raise."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._failed = True
+        self._value = exception
+        self.env._schedule(self, delay)
+        return self
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` sim-seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError("negative timeout")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The process's return value (``return x`` in the generator) becomes the
+    event value; an uncaught exception fails the event and propagates to any
+    process waiting on it (and, if nobody waits, aborts the run).
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, env: "Environment", gen: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        self._gen = gen
+        self._waiting_on: Event | None = None
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at the current time."""
+        if self._triggered:
+            return  # already finished; interrupt is a no-op
+        wake = Event(self.env)
+        wake.callbacks.append(lambda ev: self._throw(Interrupt(cause)))
+        wake.succeed()
+
+    # -- internals ----------------------------------------------------------
+
+    def _detach(self) -> None:
+        if self._waiting_on is not None:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+
+    def _throw(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        self._detach()
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self._terminate(err)
+            return
+        self._wait_on(target)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.failed:
+                target = self._gen.throw(event.value)
+            else:
+                target = self._gen.send(event.value if event is not self else None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self._terminate(err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Event) -> None:
+        if not isinstance(target, Event):
+            self._terminate(
+                SimulationError(f"process yielded {target!r}, expected an Event")
+            )
+            return
+        if target.processed:
+            # Already done: resume on a fresh zero-delay event preserving order.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            if target.failed:
+                relay.fail(target.value)
+            else:
+                relay.succeed(target.value)
+            return
+        self._waiting_on = target
+        target.callbacks.append(self._resume)
+
+    def _terminate(self, err: BaseException) -> None:
+        if not self._triggered:
+            self.fail(err)
+
+
+class Environment:
+    """Simulation clock, event heap, and run loop."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._eid = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, self._eid, event))
+        self._eid += 1
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` sim-seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        """Start a generator as a process; returns its completion event."""
+        return Process(self, gen)
+
+    def all_of(self, events: list[Event]) -> Event:
+        """Event that fires once every listed event has fired.
+
+        Value is the list of individual values, in input order.  If any
+        event fails, the condition fails with that exception (first one
+        wins).
+        """
+        result = Event(self)
+        remaining = len(events)
+        values: list[Any] = [None] * len(events)
+        if remaining == 0:
+            result.succeed([])
+            return result
+        state = {"left": remaining, "failed": False}
+
+        def make_cb(i: int) -> Callable[[Event], None]:
+            def cb(ev: Event) -> None:
+                if state["failed"] or result.triggered:
+                    return
+                if ev.failed:
+                    state["failed"] = True
+                    result.fail(ev.value)
+                    return
+                values[i] = ev.value
+                state["left"] -= 1
+                if state["left"] == 0:
+                    result.succeed(values)
+
+            return cb
+
+        for i, ev in enumerate(events):
+            if ev.processed:
+                if ev.failed:
+                    state["failed"] = True
+                    result.fail(ev.value)
+                    break
+                values[i] = ev.value
+                state["left"] -= 1
+            else:
+                ev.callbacks.append(make_cb(i))
+        if not result.triggered and state["left"] == 0:
+            result.succeed(values)
+        return result
+
+    def run(self, until: float | None = None) -> float:
+        """Process events until the heap drains or the clock passes ``until``.
+
+        Returns the final simulated time.  A failed event with no listeners
+        re-raises its exception (mirrors SimPy: unhandled process failures
+        abort the run loudly rather than vanishing).
+        """
+        while self._heap:
+            t, _, event = self._heap[0]
+            if until is not None and t > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = t
+            event._processed = True
+            callbacks, event.callbacks = event.callbacks, []
+            if event.failed and not callbacks:
+                raise event.value
+            for cb in callbacks:
+                cb(event)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now

@@ -1,0 +1,153 @@
+"""Parallel-file-system model.
+
+Reproduces the two I/O behaviours the paper's evaluation rests on:
+
+* **Per-process ramp** (paper Fig. 7): the average write throughput of one
+  process rises with request size and saturates.  This emerges from a fixed
+  per-operation latency in front of a rate-capped transfer::
+
+      T(s) = latency + s / min(per_proc_cap, fair_share)
+      throughput(s) = s / T(s)   →   Wmax * s / (Wmax * latency + s)
+
+* **Aggregate contention**: all concurrent flows share the file system's
+  aggregate bandwidth max-min fairly (see
+  :class:`~repro.sim.resources.FluidBandwidth`), so independent writes from
+  many ranks slow each other down realistically.
+
+Collective writes add the synchronization the paper's baseline suffers
+from: all ranks must arrive, then the aggregated data is drained at the
+aggregate bandwidth times a collective efficiency factor, with a per-round
+coordination overhead, and *all ranks are released only when the slowest
+data lands* — which is exactly why the H5Z-SZ baseline cannot overlap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import FluidBandwidth
+
+
+class ParallelFileSystem:
+    """Fluid PFS model with independent and collective write operations.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    aggregate_bw:
+        Total backend bandwidth in bytes/s.
+    per_proc_bw:
+        Per-process rate cap (bytes/s) — single-client striping limit.
+    write_latency:
+        Fixed seconds of per-operation overhead (request setup, metadata).
+    collective_efficiency:
+        Fraction of aggregate bandwidth achieved by a collective write
+        (aggregation can help or hurt; typically < 1 for many small pieces).
+    collective_overhead:
+        Extra fixed seconds per collective round (two-phase I/O exchange).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        aggregate_bw: float,
+        per_proc_bw: float,
+        write_latency: float = 2e-3,
+        collective_efficiency: float = 0.85,
+        collective_overhead: float = 5e-3,
+    ) -> None:
+        if aggregate_bw <= 0 or per_proc_bw <= 0:
+            raise SimulationError("bandwidths must be positive")
+        if not 0 < collective_efficiency <= 1.5:
+            raise SimulationError("collective_efficiency out of range")
+        self.env = env
+        self.aggregate_bw = float(aggregate_bw)
+        self.per_proc_bw = float(per_proc_bw)
+        self.write_latency = float(write_latency)
+        self.collective_efficiency = float(collective_efficiency)
+        self.collective_overhead = float(collective_overhead)
+        self._channel = FluidBandwidth(env, aggregate_bw)
+
+    # -- independent writes -------------------------------------------------
+
+    def independent_write(self, nbytes: float, tag: object = None) -> Event:
+        """One rank writes ``nbytes`` at its own pace; returns completion.
+
+        The operation occupies the shared channel after a fixed latency.
+        """
+        def op() -> Generator[Event, object, float]:
+            if self.write_latency > 0:
+                yield self.env.timeout(self.write_latency)
+            if nbytes > 0:
+                yield self._channel.transfer(nbytes, rate_cap=self.per_proc_bw, tag=tag)
+            return self.env.now
+
+        return self.env.process(op())
+
+    def ramp_throughput(self, nbytes: float) -> float:
+        """Closed-form uncontended throughput for one write of ``nbytes``.
+
+        Matches :meth:`independent_write` when the channel is otherwise
+        idle: ``s / (latency + s / min(per_proc, aggregate))``.
+        """
+        if nbytes <= 0:
+            return 0.0
+        rate = min(self.per_proc_bw, self.aggregate_bw)
+        return nbytes / (self.write_latency + nbytes / rate)
+
+    # -- collective writes --------------------------------------------------
+
+    def collective_write(self, nranks: int) -> "CollectiveWrite":
+        """Open a collective write across ``nranks``.
+
+        Each rank calls :meth:`CollectiveWrite.submit` when *it* is ready
+        (collectives synchronize: the transfer starts only once the last
+        rank arrives, and everyone is released together when it finishes).
+        """
+        return CollectiveWrite(self, nranks)
+
+    @property
+    def active_flows(self) -> int:
+        """Number of transfers currently on the channel."""
+        return self._channel.active_flows
+
+
+class CollectiveWrite:
+    """One in-flight collective write operation (two-phase I/O semantics)."""
+
+    def __init__(self, fs: ParallelFileSystem, nranks: int) -> None:
+        if nranks <= 0:
+            raise SimulationError("nranks must be positive")
+        self.fs = fs
+        self.nranks = nranks
+        self._submitted = 0
+        self._total_bytes = 0.0
+        self._done_events: list[Event] = []
+
+    def submit(self, nbytes: float) -> Event:
+        """Rank contributes its payload; returns the global completion event."""
+        if nbytes < 0:
+            raise SimulationError("negative payload")
+        if self._submitted >= self.nranks:
+            raise SimulationError("collective over-subscribed")
+        env = self.fs.env
+        done = env.event()
+        self._done_events.append(done)
+        self._submitted += 1
+        self._total_bytes += float(nbytes)
+        if self._submitted == self.nranks:
+            env.process(self._drain())
+        return done
+
+    def _drain(self) -> Generator[Event, object, None]:
+        fs = self.fs
+        yield fs.env.timeout(fs.collective_overhead + fs.write_latency)
+        if self._total_bytes > 0:
+            rate_cap = fs.aggregate_bw * fs.collective_efficiency
+            yield fs._channel.transfer(self._total_bytes, rate_cap=rate_cap, tag="collective")
+        t = fs.env.now
+        for ev in self._done_events:
+            ev.succeed(t)

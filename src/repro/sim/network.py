@@ -1,0 +1,67 @@
+"""Interconnect cost models for the simulator.
+
+The paper's pipeline performs two global collectives: an all-gather of
+predicted sizes before writing, and an all-gather of overflow sizes after.
+Both are tiny-message collectives whose cost is latency dominated; we use
+the standard alpha-beta model:
+
+* ``barrier``: ``alpha * ceil(log2 P)``
+* ``allgather``: ``alpha * ceil(log2 P) + beta * (P - 1) * msg_bytes``
+  (recursive doubling: log rounds, each rank ends with P messages)
+
+The paper observes exactly this effect: "larger scale introduces longer
+communication time for the all-gather operation" (Section IV-D).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Alpha-beta interconnect model.
+
+    Parameters
+    ----------
+    alpha:
+        Per-round latency in seconds.
+    beta:
+        Per-byte transfer cost in seconds (inverse link bandwidth).
+    """
+
+    alpha: float = 5e-6
+    beta: float = 8e-11  # ~12.5 GB/s links
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise SimulationError("alpha/beta must be non-negative")
+
+    def barrier_seconds(self, nranks: int) -> float:
+        """Time for a full barrier across ``nranks``."""
+        if nranks <= 0:
+            raise SimulationError("nranks must be positive")
+        if nranks == 1:
+            return 0.0
+        return self.alpha * math.ceil(math.log2(nranks))
+
+    def allgather_seconds(self, nranks: int, msg_bytes: float) -> float:
+        """Time to all-gather ``msg_bytes`` from every rank."""
+        if nranks <= 0:
+            raise SimulationError("nranks must be positive")
+        if msg_bytes < 0:
+            raise SimulationError("negative message size")
+        if nranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nranks))
+        return self.alpha * rounds + self.beta * (nranks - 1) * msg_bytes
+
+    def reduce_seconds(self, nranks: int, msg_bytes: float) -> float:
+        """Time for a small reduction (same structure as allgather rounds)."""
+        if nranks <= 1:
+            return 0.0
+        rounds = math.ceil(math.log2(nranks))
+        return self.alpha * rounds + self.beta * msg_bytes * rounds

@@ -1,0 +1,209 @@
+"""Shared-bandwidth resources for the simulator.
+
+:class:`FluidBandwidth` models an I/O channel of fixed aggregate capacity
+shared by concurrent flows under max-min fairness (water-filling), each flow
+optionally capped at its own maximum rate.  This is the standard fluid
+approximation of parallel-file-system contention: with ``n`` writers active,
+each gets ``capacity / n`` unless its own cap binds, and leftover capacity
+redistributes to uncapped flows.
+
+The implementation is event-driven and **vectorized**: flow state lives in
+numpy arrays (remaining bytes, caps, rates) so settling thousands of
+concurrent flows — 4096-process weak-scaling runs create tens of thousands —
+costs one array pass instead of a Python loop.  Whenever the flow set
+changes, remaining bytes are settled at the old rates, rates are recomputed
+(sort-based water-filling, O(n log n)), and one wake-up is scheduled for the
+earliest completion; stale wake-ups are recognized by a generation counter.
+
+:class:`SimBarrier` is the simulated counterpart of ``MPI_Barrier``: the
+n-th arrival releases everyone (plus an optional modelled latency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+_INITIAL_CAPACITY = 64
+_NO_CAP = np.inf
+
+
+class FluidBandwidth:
+    """Fair-share fluid bandwidth resource.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacity:
+        Aggregate capacity in bytes/second.
+    """
+
+    def __init__(self, env: Environment, capacity: float) -> None:
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = float(capacity)
+        n = _INITIAL_CAPACITY
+        self._remaining = np.zeros(n)
+        self._caps = np.full(n, _NO_CAP)
+        self._rates = np.zeros(n)
+        self._active = np.zeros(n, dtype=bool)
+        self._events: dict[int, Event] = {}
+        self._free: list[int] = list(range(n - 1, -1, -1))
+        self._n_active = 0
+        self._last_settle = env.now
+        self._generation = 0
+
+    @property
+    def active_flows(self) -> int:
+        """Number of in-progress transfers."""
+        return self._n_active
+
+    def transfer(self, nbytes: float, rate_cap: float | None = None, tag: object = None) -> Event:
+        """Start a transfer of ``nbytes``; returns its completion event.
+
+        ``rate_cap`` bounds this flow's share (bytes/s), modelling e.g. a
+        single client's NIC or per-process striping limit.
+        """
+        if nbytes < 0:
+            raise SimulationError("negative transfer size")
+        if rate_cap is not None and rate_cap <= 0:
+            raise SimulationError("rate_cap must be positive")
+        done = self.env.event()
+        if nbytes == 0:
+            done.succeed(0.0)
+            return done
+        self._settle()
+        slot = self._alloc_slot()
+        self._remaining[slot] = float(nbytes)
+        self._caps[slot] = _NO_CAP if rate_cap is None else float(rate_cap)
+        self._rates[slot] = 0.0
+        self._active[slot] = True
+        self._events[slot] = done
+        self._n_active += 1
+        self._reschedule()
+        return done
+
+    # -- internals ----------------------------------------------------------
+
+    def _alloc_slot(self) -> int:
+        if not self._free:
+            old = self._remaining.size
+            new = old * 2
+            for name in ("_remaining", "_rates"):
+                arr = np.zeros(new)
+                arr[:old] = getattr(self, name)
+                setattr(self, name, arr)
+            caps = np.full(new, _NO_CAP)
+            caps[:old] = self._caps
+            self._caps = caps
+            active = np.zeros(new, dtype=bool)
+            active[:old] = self._active
+            self._active = active
+            self._free = list(range(new - 1, old - 1, -1))
+        return self._free.pop()
+
+    def _compute_rates(self) -> None:
+        """Max-min fair allocation with per-flow caps (water-filling).
+
+        Ascending-cap sweep, fully vectorized: with caps sorted, flow ``k``
+        freezes at its cap iff ``c[k] < (C - sum(c[:k])) / (n - k)``, and
+        that condition is monotone along the sorted order, so the frozen
+        prefix ends at the first index where it fails.
+        """
+        idx = np.flatnonzero(self._active)
+        if idx.size == 0:
+            return
+        caps = self._caps[idx]
+        order = np.argsort(caps, kind="stable")
+        c = caps[order]
+        n = c.size
+        prefix = np.empty(n)
+        prefix[0] = 0.0
+        if n > 1:
+            np.cumsum(c[:-1], out=prefix[1:])
+        share_seq = (self.capacity - prefix) / (n - np.arange(n))
+        not_frozen = c >= share_seq  # infinite caps always land here
+        k = int(np.argmax(not_frozen)) if not_frozen.any() else n
+        rates = np.empty(n)
+        rates[:k] = c[:k]
+        if k < n:
+            rates[k:] = np.minimum(c[k:], share_seq[k])
+        out = np.empty(n)
+        out[order] = rates
+        np.maximum(out, 1e-12, out=out)
+        self._rates[idx] = out
+
+    def _settle(self) -> None:
+        """Advance all flows to ``env.now``; complete any that finished.
+
+        A flow completes when its remaining bytes drop below an absolute
+        byte tolerance *or* below what it transfers in a nanosecond of
+        simulated time — the latter guards against a zero-progress spin
+        when the residual ETA falls under the clock's float resolution.
+        """
+        now = self.env.now
+        dt = now - self._last_settle
+        self._last_settle = now
+        if self._n_active == 0:
+            return
+        idx = np.flatnonzero(self._active)
+        if dt > 0:
+            self._remaining[idx] -= self._rates[idx] * dt
+        tol = np.maximum(1e-6, self._rates[idx] * 1e-9)
+        finished = idx[self._remaining[idx] <= tol]
+        for slot in finished.tolist():
+            self._active[slot] = False
+            self._n_active -= 1
+            self._free.append(slot)
+            self._events.pop(slot).succeed(now)
+
+    def _reschedule(self) -> None:
+        """Recompute rates and schedule the next completion wake-up."""
+        self._generation += 1
+        gen = self._generation
+        if self._n_active == 0:
+            return
+        self._compute_rates()
+        idx = np.flatnonzero(self._active)
+        eta = float(np.min(self._remaining[idx] / self._rates[idx]))
+        wake = self.env.timeout(max(eta, 0.0))
+        wake.callbacks.append(lambda ev: self._on_wake(gen))
+
+    def _on_wake(self, gen: int) -> None:
+        if gen != self._generation:
+            return  # stale wake-up; the flow set changed since scheduling
+        self._settle()
+        self._reschedule()
+
+
+class SimBarrier:
+    """Counting barrier for ``n`` simulated ranks.
+
+    Every call to :meth:`arrive` returns an event; the event fires for all
+    arrivals once the last rank arrives (plus ``latency`` seconds).  The
+    barrier auto-resets for reuse (generation semantics).
+    """
+
+    def __init__(self, env: Environment, n: int, latency: float = 0.0) -> None:
+        if n <= 0:
+            raise SimulationError("barrier size must be positive")
+        self.env = env
+        self.n = n
+        self.latency = latency
+        self._waiting: list[Event] = []
+
+    def arrive(self) -> Event:
+        """Register one arrival; returns the release event."""
+        ev = self.env.event()
+        self._waiting.append(ev)
+        if len(self._waiting) == self.n:
+            release, self._waiting = self._waiting, []
+            for w in release:
+                w.succeed(self.env.now, delay=self.latency)
+        elif len(self._waiting) > self.n:  # pragma: no cover - guarded above
+            raise SimulationError("barrier over-subscribed")
+        return ev

@@ -1,0 +1,125 @@
+"""Timeline recording for simulated runs.
+
+The paper's Fig. 4 (scheme timelines) and Fig. 16 (time breakdown) need to
+know *when* each rank compressed/wrote each field.  Writers record a
+:class:`TraceRecord` per operation; :class:`TraceRecorder` aggregates them
+into the paper's breakdown quantities and renders an ASCII Gantt chart for
+the examples.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timed operation on one rank."""
+
+    rank: int
+    kind: str  # "compress" | "write" | "predict" | "allgather" | "overflow" | ...
+    start: float
+    end: float
+    label: str = ""
+    nbytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds."""
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects and summarizes :class:`TraceRecord` entries."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def add(
+        self,
+        rank: int,
+        kind: str,
+        start: float,
+        end: float,
+        label: str = "",
+        nbytes: int = 0,
+    ) -> None:
+        """Record one operation."""
+        if end < start:
+            raise ValueError("trace record ends before it starts")
+        self.records.append(TraceRecord(rank, kind, start, end, label, nbytes))
+
+    # -- aggregation --------------------------------------------------------
+
+    def by_kind(self) -> dict[str, list[TraceRecord]]:
+        """Records grouped by kind."""
+        out: dict[str, list[TraceRecord]] = defaultdict(list)
+        for r in self.records:
+            out[r.kind].append(r)
+        return dict(out)
+
+    def makespan(self) -> float:
+        """End of the last operation (start of time is 0)."""
+        return max((r.end for r in self.records), default=0.0)
+
+    def kind_end(self, kind: str) -> float:
+        """Latest end time among records of ``kind`` (0.0 if none)."""
+        return max((r.end for r in self.records if r.kind == kind), default=0.0)
+
+    def kind_total(self, kind: str, rank: int | None = None) -> float:
+        """Summed duration of ``kind`` (optionally one rank only)."""
+        return sum(
+            r.duration
+            for r in self.records
+            if r.kind == kind and (rank is None or r.rank == rank)
+        )
+
+    def max_rank_total(self, kind: str) -> float:
+        """Max over ranks of that rank's summed duration of ``kind``.
+
+        The paper reports compression time this way: the slowest rank's
+        total compression time bounds the pipeline.
+        """
+        per_rank: dict[int, float] = defaultdict(float)
+        for r in self.records:
+            if r.kind == kind:
+                per_rank[r.rank] += r.duration
+        return max(per_rank.values(), default=0.0)
+
+    def exposed_write_seconds(self) -> float:
+        """Write time not hidden behind compression (paper Fig. 16 note).
+
+        Measured as the span from the end of the slowest compression to the
+        end of the last write — exactly how the paper measures the write bar
+        of the overlapped solutions.
+        """
+        comp_end = self.kind_end("compress")
+        write_end = self.kind_end("write")
+        return max(0.0, write_end - comp_end)
+
+    # -- rendering ----------------------------------------------------------
+
+    def render_timeline(self, width: int = 72, kinds: tuple[str, ...] | None = None) -> str:
+        """ASCII Gantt chart, one row per rank; ops marked by kind initial."""
+        if not self.records:
+            return "(empty trace)"
+        span = self.makespan()
+        if span <= 0:
+            return "(zero-length trace)"
+        ranks = sorted({r.rank for r in self.records})
+        lines = [f"t = 0 .. {span:.4f} s  ({width} cols)"]
+        for rank in ranks:
+            row = [" "] * width
+            for r in self.records:
+                if r.rank != rank:
+                    continue
+                if kinds is not None and r.kind not in kinds:
+                    continue
+                a = int(r.start / span * (width - 1))
+                b = max(a + 1, int(r.end / span * (width - 1)) + 1)
+                ch = r.kind[0].upper()
+                for i in range(a, min(b, width)):
+                    row[i] = ch
+            lines.append(f"rank {rank:4d} |{''.join(row)}|")
+        return "\n".join(lines)

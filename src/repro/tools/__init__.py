@@ -1,0 +1,1 @@
+"""Command-line utilities for PHD5 containers (h5ls / h5dump analogues)."""

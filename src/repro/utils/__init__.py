@@ -1,0 +1,45 @@
+"""Shared low-level utilities: bit packing, block iteration, statistics, RNG."""
+
+from repro.utils.bits import (
+    BitReader,
+    BitWriter,
+    pack_varlen_codes,
+    unpack_bits_lsb,
+)
+from repro.utils.blocks import (
+    block_view_slices,
+    iter_blocks,
+    num_blocks,
+    sample_block_slices,
+)
+from repro.utils.stats import (
+    compression_ratio,
+    bit_rate,
+    max_abs_error,
+    mse,
+    psnr,
+    value_range,
+)
+from repro.utils.rng import resolve_rng, spawn_rngs
+from repro.utils.timer import Timer, TimerRegistry
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "pack_varlen_codes",
+    "unpack_bits_lsb",
+    "block_view_slices",
+    "iter_blocks",
+    "num_blocks",
+    "sample_block_slices",
+    "compression_ratio",
+    "bit_rate",
+    "max_abs_error",
+    "mse",
+    "psnr",
+    "value_range",
+    "resolve_rng",
+    "spawn_rngs",
+    "Timer",
+    "TimerRegistry",
+]

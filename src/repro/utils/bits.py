@@ -1,0 +1,194 @@
+"""Vectorized variable-length bit packing.
+
+The Huffman encoder needs to concatenate, per element, a code of 1..32 bits
+into a contiguous bitstream.  Doing this element-by-element in Python is far
+too slow for multi-megabyte partitions, so :func:`pack_varlen_codes` performs
+the whole scatter with numpy:
+
+1. compute each element's starting bit offset (``cumsum`` of code lengths),
+2. split every code into its contribution to 64-bit word ``w`` and ``w + 1``,
+3. OR the contributions into a zeroed ``uint64`` buffer with
+   ``np.bitwise_or.at`` (codes never collide on set bits because offsets are
+   disjoint, so OR-accumulation is exact).
+
+Bit order is **LSB-first within each 64-bit little-endian word**, i.e. the
+bit at global position ``p`` lives in word ``p >> 6`` at in-word position
+``p & 63``.  :class:`BitReader` consumes the same layout.
+
+The scalar :class:`BitWriter`/:class:`BitReader` pair implements the same
+format one field at a time; it is used for headers and by the decoders, and
+serves as the differential-testing oracle for the vectorized packer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CorruptStreamError
+
+_WORD_BITS = 64
+
+
+def pack_varlen_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
+    """Pack variable-length codes into an LSB-first bitstream.
+
+    Parameters
+    ----------
+    codes:
+        ``uint64`` array; element ``i`` holds the code value in its low
+        ``lengths[i]`` bits.  Bits above ``lengths[i]`` must be zero.
+    lengths:
+        integer array of code lengths in ``[1, 57]``.  (57 = 64 - 7 keeps a
+        single shifted code from spanning more than two words; Huffman codes
+        here are capped far below that.)
+
+    Returns
+    -------
+    (payload, total_bits):
+        ``payload`` is the packed little-endian byte string, sized to the
+        minimal whole number of 64-bit words; ``total_bits`` is the exact
+        number of meaningful bits.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.uint64)
+    lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape:
+        raise ValueError("codes and lengths must have identical shapes")
+    if codes.size == 0:
+        return b"", 0
+    if lengths.min() < 1 or lengths.max() > 57:
+        raise ValueError("code lengths must be in [1, 57]")
+
+    ends = np.cumsum(lengths)
+    total_bits = int(ends[-1])
+    starts = ends - lengths
+
+    nwords = (total_bits + _WORD_BITS - 1) // _WORD_BITS
+    # +1 guard word so the spill of the last code needs no bounds check.
+    words = np.zeros(nwords + 1, dtype=np.uint64)
+
+    word_idx = (starts >> 6).astype(np.int64)
+    shift = (starts & 63).astype(np.uint64)
+
+    lo = (codes << shift).astype(np.uint64)
+    # Contribution to the next word: bits of the code above (64 - shift).
+    # ``code >> (64 - shift)`` is UB for shift == 0 in C; numpy uint64 shifts
+    # by 64 also wrap, so split it into two well-defined shifts.
+    hi = (codes >> np.uint64(1)) >> (np.uint64(63) - shift)
+
+    np.bitwise_or.at(words, word_idx, lo)
+    np.bitwise_or.at(words, word_idx + 1, hi)
+
+    payload = words[:nwords].tobytes()
+    return payload, total_bits
+
+
+def unpack_bits_lsb(payload: bytes, total_bits: int) -> np.ndarray:
+    """Expand a packed stream into a ``uint8`` array of individual bits.
+
+    Mostly a debugging / property-testing helper: returns ``total_bits``
+    entries, each 0 or 1, in global bit order.
+    """
+    if total_bits == 0:
+        return np.zeros(0, dtype=np.uint8)
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    needed_bytes = (total_bits + 7) // 8
+    if raw.size < needed_bytes:
+        raise CorruptStreamError(
+            f"bitstream truncated: need {needed_bytes} bytes, have {raw.size}"
+        )
+    bits = np.unpackbits(raw[:needed_bytes], bitorder="little")
+    return bits[:total_bits]
+
+
+class BitWriter:
+    """Scalar LSB-first bit writer producing the same layout as the packer."""
+
+    def __init__(self) -> None:
+        self._acc = 0
+        self._nbits = 0
+        self._chunks: list[bytes] = []
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return 8 * sum(len(c) for c in self._chunks) + self._nbits
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` bits of ``value``."""
+        if nbits < 0 or nbits > 64:
+            raise ValueError("nbits must be in [0, 64]")
+        if nbits == 0:
+            return
+        value &= (1 << nbits) - 1
+        self._acc |= value << self._nbits
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._chunks.append(bytes((self._acc & 0xFF,)))
+            self._acc >>= 8
+            self._nbits -= 8
+
+    def getvalue(self) -> bytes:
+        """Return the stream, flushing any partial final byte (zero padded)."""
+        tail = b""
+        if self._nbits:
+            tail = bytes((self._acc & 0xFF,))
+        return b"".join(self._chunks) + tail
+
+
+class BitReader:
+    """Scalar LSB-first bit reader over a packed byte string."""
+
+    def __init__(self, payload: bytes, total_bits: int | None = None) -> None:
+        self._data = payload
+        self._pos = 0
+        self._limit = 8 * len(payload) if total_bits is None else total_bits
+        if self._limit > 8 * len(payload):
+            raise CorruptStreamError("declared bit length exceeds payload size")
+
+    @property
+    def position(self) -> int:
+        """Current global bit position."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of readable bits left."""
+        return self._limit - self._pos
+
+    def read(self, nbits: int) -> int:
+        """Read ``nbits`` bits and return them as an unsigned integer."""
+        if nbits < 0 or nbits > 64:
+            raise ValueError("nbits must be in [0, 64]")
+        if nbits > self.remaining:
+            raise CorruptStreamError("bitstream exhausted")
+        out = 0
+        got = 0
+        pos = self._pos
+        while got < nbits:
+            byte = self._data[pos >> 3]
+            avail = 8 - (pos & 7)
+            take = min(avail, nbits - got)
+            chunk = (byte >> (pos & 7)) & ((1 << take) - 1)
+            out |= chunk << got
+            got += take
+            pos += take
+        self._pos = pos
+        return out
+
+    def peek(self, nbits: int) -> int:
+        """Read up to ``nbits`` bits without consuming them.
+
+        If fewer than ``nbits`` remain, the missing high bits are zero; this
+        simplifies table-driven Huffman decoding near the end of the stream.
+        """
+        take = min(nbits, self.remaining)
+        pos = self._pos
+        out = self.read(take)
+        self._pos = pos
+        return out
+
+    def skip(self, nbits: int) -> None:
+        """Advance the cursor by ``nbits`` bits."""
+        if nbits > self.remaining:
+            raise CorruptStreamError("bitstream exhausted")
+        self._pos += nbits

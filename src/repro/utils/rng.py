@@ -1,0 +1,42 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library accepts either a seed, an existing
+``numpy.random.Generator``, or ``None`` (meaning "a fixed default seed", not
+OS entropy — experiments must be reproducible run-to-run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_SEED = 0x5C22  # "SC22"
+
+
+def resolve_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a Generator for ``seed``.
+
+    ``None`` maps to the library-wide default seed so that un-seeded calls are
+    still deterministic.  Passing an existing generator returns it unchanged
+    (shared-stream semantics).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``seed``.
+
+    Used to give each simulated rank / field its own stream so results do not
+    depend on iteration order.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    root = resolve_rng(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)] if hasattr(
+        root.bit_generator, "seed_seq"
+    ) and root.bit_generator.seed_seq is not None else [
+        np.random.default_rng(root.integers(0, 2**63 - 1)) for _ in range(n)
+    ]

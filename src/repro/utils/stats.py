@@ -1,0 +1,66 @@
+"""Compression and distortion statistics used across the library.
+
+Definitions follow the paper (Section II-B):
+
+* **compression ratio** — original bytes / compressed bytes.
+* **bit-rate** — average number of bits per value in the compressed stream
+  (32 / ratio for float32 inputs).
+* **PSNR** — peak signal-to-noise ratio against the value range of the
+  original data, in dB.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def value_range(data: np.ndarray) -> float:
+    """Max minus min of ``data`` as a float (0.0 for constant arrays)."""
+    if data.size == 0:
+        return 0.0
+    return float(np.max(data) - np.min(data))
+
+
+def compression_ratio(original_nbytes: int, compressed_nbytes: int) -> float:
+    """Original size over compressed size."""
+    if compressed_nbytes <= 0:
+        raise ValueError("compressed size must be positive")
+    return original_nbytes / compressed_nbytes
+
+
+def bit_rate(original_count: int, compressed_nbytes: int) -> float:
+    """Average bits used per value in the compressed representation."""
+    if original_count <= 0:
+        raise ValueError("original element count must be positive")
+    return 8.0 * compressed_nbytes / original_count
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error between two arrays of identical shape."""
+    if original.shape != reconstructed.shape:
+        raise ValueError("shape mismatch")
+    if original.size == 0:
+        return 0.0
+    diff = original.astype(np.float64) - reconstructed.astype(np.float64)
+    return float(np.mean(diff * diff))
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Largest point-wise absolute reconstruction error."""
+    if original.shape != reconstructed.shape:
+        raise ValueError("shape mismatch")
+    if original.size == 0:
+        return 0.0
+    diff = np.abs(original.astype(np.float64) - reconstructed.astype(np.float64))
+    return float(np.max(diff))
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for exact reconstruction)."""
+    err = mse(original, reconstructed)
+    rng = value_range(original)
+    if err == 0.0:
+        return float("inf")
+    if rng == 0.0:
+        return float("-inf")
+    return float(20.0 * np.log10(rng) - 10.0 * np.log10(err))

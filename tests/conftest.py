@@ -1,0 +1,44 @@
+"""Shared fixtures: small deterministic scientific-looking test fields."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def make_smooth_field(shape=(24, 24, 24), noise=0.01, seed=0, dtype=np.float32):
+    """Band-limited smooth field plus mild noise (compresses like sim data)."""
+    rng = np.random.default_rng(seed)
+    axes = [np.linspace(0, 3 * np.pi, s) for s in shape]
+    f = np.ones(shape, dtype=np.float64)
+    for ax, grid in enumerate(axes):
+        expand = [None] * len(shape)
+        expand[ax] = slice(None)
+        f = f * np.sin(grid + ax)[tuple(expand)]
+    f += rng.normal(0.0, noise, shape)
+    return f.astype(dtype)
+
+
+@pytest.fixture
+def smooth3d():
+    """24^3 float32 smooth field."""
+    return make_smooth_field()
+
+
+@pytest.fixture
+def smooth2d():
+    """48x48 float32 smooth field."""
+    return make_smooth_field(shape=(48, 48))
+
+
+@pytest.fixture
+def smooth1d():
+    """4096-point float64 smooth signal."""
+    return make_smooth_field(shape=(4096,), dtype=np.float64)
+
+
+@pytest.fixture
+def rough3d():
+    """Low-compressibility white-noise field."""
+    rng = np.random.default_rng(7)
+    return rng.normal(0, 1, (16, 16, 16)).astype(np.float32)

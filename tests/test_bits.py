@@ -1,0 +1,153 @@
+"""Tests for the vectorized bit packer and scalar bit reader/writer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptStreamError
+from repro.utils.bits import BitReader, BitWriter, pack_varlen_codes, unpack_bits_lsb
+
+
+class TestBitWriterReader:
+    def test_roundtrip_single_field(self):
+        w = BitWriter()
+        w.write(0b1011, 4)
+        r = BitReader(w.getvalue(), 4)
+        assert r.read(4) == 0b1011
+
+    def test_roundtrip_many_fields(self):
+        fields = [(i * 2654435761 % (1 << (1 + i % 30)), 1 + i % 30) for i in range(200)]
+        w = BitWriter()
+        for v, n in fields:
+            w.write(v, n)
+        r = BitReader(w.getvalue(), w.bit_length)
+        for v, n in fields:
+            assert r.read(n) == v
+
+    def test_write_masks_high_bits(self):
+        w = BitWriter()
+        w.write(0xFF, 4)  # only low 4 bits kept
+        r = BitReader(w.getvalue(), 4)
+        assert r.read(4) == 0xF
+
+    def test_zero_width_write_is_noop(self):
+        w = BitWriter()
+        w.write(123, 0)
+        assert w.bit_length == 0
+        assert w.getvalue() == b""
+
+    def test_bit_length_tracks_partial_bytes(self):
+        w = BitWriter()
+        w.write(1, 3)
+        assert w.bit_length == 3
+        w.write(1, 13)
+        assert w.bit_length == 16
+
+    def test_invalid_nbits_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(0, 65)
+        with pytest.raises(ValueError):
+            w.write(0, -1)
+
+    def test_reader_exhaustion_raises(self):
+        r = BitReader(b"\xff", 8)
+        r.read(8)
+        with pytest.raises(CorruptStreamError):
+            r.read(1)
+
+    def test_reader_limit_enforced(self):
+        with pytest.raises(CorruptStreamError):
+            BitReader(b"\xff", 9)
+
+    def test_peek_does_not_consume(self):
+        r = BitReader(b"\xa5", 8)
+        assert r.peek(4) == 0x5
+        assert r.position == 0
+        assert r.read(8) == 0xA5
+
+    def test_peek_past_end_zero_fills(self):
+        r = BitReader(b"\x01", 1)
+        assert r.peek(8) == 1
+
+    def test_skip(self):
+        r = BitReader(b"\xf0", 8)
+        r.skip(4)
+        assert r.read(4) == 0xF
+        with pytest.raises(CorruptStreamError):
+            r.skip(1)
+
+
+class TestPackVarlenCodes:
+    def test_empty_input(self):
+        payload, nbits = pack_varlen_codes(np.zeros(0, np.uint64), np.zeros(0, np.int64))
+        assert payload == b""
+        assert nbits == 0
+
+    def test_matches_scalar_writer(self):
+        rng = np.random.default_rng(3)
+        lengths = rng.integers(1, 33, 500)
+        codes = np.array(
+            [rng.integers(0, 1 << int(l)) for l in lengths], dtype=np.uint64
+        )
+        payload, nbits = pack_varlen_codes(codes, lengths)
+        w = BitWriter()
+        for c, l in zip(codes.tolist(), lengths.tolist()):
+            w.write(int(c), int(l))
+        scalar = w.getvalue()
+        assert nbits == w.bit_length
+        assert payload[: len(scalar) - 1] == scalar[:-1]
+        # Final partial byte may differ only in padding; compare bit-wise.
+        assert np.array_equal(
+            unpack_bits_lsb(payload, nbits), unpack_bits_lsb(scalar, nbits)
+        )
+
+    def test_word_boundary_spanning(self):
+        # Two 57-bit codes force a span across the first word boundary.
+        codes = np.array([(1 << 57) - 1, 0b1010101], dtype=np.uint64)
+        lengths = np.array([57, 7], dtype=np.int64)
+        payload, nbits = pack_varlen_codes(codes, lengths)
+        r = BitReader(payload, nbits)
+        assert r.read(57) == (1 << 57) - 1
+        assert r.read(7) == 0b1010101
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pack_varlen_codes(np.zeros(3, np.uint64), np.ones(2, np.int64))
+
+    def test_length_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_varlen_codes(np.zeros(1, np.uint64), np.array([58]))
+        with pytest.raises(ValueError):
+            pack_varlen_codes(np.zeros(1, np.uint64), np.array([0]))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, (1 << 30) - 1), st.integers(1, 30)),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, fields):
+        codes = np.array([v & ((1 << n) - 1) for v, n in fields], dtype=np.uint64)
+        lengths = np.array([n for _, n in fields], dtype=np.int64)
+        payload, nbits = pack_varlen_codes(codes, lengths)
+        r = BitReader(payload, nbits)
+        for c, l in zip(codes.tolist(), lengths.tolist()):
+            assert r.read(int(l)) == int(c)
+        assert r.remaining == 0
+
+
+class TestUnpackBits:
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(CorruptStreamError):
+            unpack_bits_lsb(b"\x01", 9)
+
+    def test_zero_bits(self):
+        assert unpack_bits_lsb(b"", 0).size == 0
+
+    def test_bit_order(self):
+        bits = unpack_bits_lsb(b"\x03", 8)
+        assert bits.tolist() == [1, 1, 0, 0, 0, 0, 0, 0]

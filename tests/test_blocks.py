@@ -1,0 +1,111 @@
+"""Tests for block decomposition helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.blocks import (
+    block_view_slices,
+    iter_blocks,
+    num_blocks,
+    sample_block_slices,
+)
+
+
+class TestNumBlocks:
+    def test_exact_tiling(self):
+        assert num_blocks((8, 8), (4, 4)) == 4
+
+    def test_ragged_edges(self):
+        assert num_blocks((9, 9), (4, 4)) == 9
+
+    def test_block_larger_than_shape(self):
+        assert num_blocks((3,), (8,)) == 1
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            num_blocks((4, 4), (2,))
+
+    def test_nonpositive_block(self):
+        with pytest.raises(ValueError):
+            num_blocks((4,), (0,))
+
+
+class TestBlockViewSlices:
+    def test_covers_every_element_once(self):
+        shape = (7, 5, 3)
+        seen = np.zeros(shape, dtype=int)
+        for sl in block_view_slices(shape, (3, 2, 2)):
+            seen[sl] += 1
+        assert np.all(seen == 1)
+
+    def test_count_matches_num_blocks(self):
+        shape, block = (10, 11), (3, 4)
+        assert len(list(block_view_slices(shape, block))) == num_blocks(shape, block)
+
+    def test_empty_shape_dim(self):
+        assert list(block_view_slices((0, 4), (2, 2))) == []
+
+    @given(
+        st.lists(st.integers(1, 12), min_size=1, max_size=3),
+        st.lists(st.integers(1, 5), min_size=1, max_size=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_partition(self, shape, block):
+        if len(shape) != len(block):
+            block = (block * len(shape))[: len(shape)]
+        seen = np.zeros(shape, dtype=int)
+        for sl in block_view_slices(tuple(shape), tuple(block)):
+            seen[sl] += 1
+        assert np.all(seen == 1)
+
+
+class TestIterBlocks:
+    def test_views_not_copies(self):
+        data = np.zeros((4, 4))
+        for sl, view in iter_blocks(data, (2, 2)):
+            view += 1
+        assert np.all(data == 1)
+
+    def test_block_contents(self):
+        data = np.arange(16).reshape(4, 4)
+        blocks = dict()
+        for sl, view in iter_blocks(data, (2, 2)):
+            blocks[(sl[0].start, sl[1].start)] = view.copy()
+        assert np.array_equal(blocks[(0, 0)], [[0, 1], [4, 5]])
+        assert np.array_equal(blocks[(2, 2)], [[10, 11], [14, 15]])
+
+
+class TestSampleBlockSlices:
+    def test_full_fraction_returns_all(self):
+        shape, block = (8, 8), (2, 2)
+        assert len(sample_block_slices(shape, block, 1.0)) == num_blocks(shape, block)
+
+    def test_small_fraction_returns_at_least_one(self):
+        assert len(sample_block_slices((8, 8), (2, 2), 0.001)) == 1
+
+    def test_deterministic_without_rng(self):
+        a = sample_block_slices((16, 16), (2, 2), 0.25)
+        b = sample_block_slices((16, 16), (2, 2), 0.25)
+        assert a == b
+
+    def test_rng_sampling_is_subset(self):
+        rng = np.random.default_rng(0)
+        picks = sample_block_slices((16, 16), (4, 4), 0.5, rng=rng)
+        as_tuples = [tuple((s.start, s.stop) for s in sl) for sl in picks]
+        universe = {
+            tuple((s.start, s.stop) for s in sl)
+            for sl in block_view_slices((16, 16), (4, 4))
+        }
+        assert set(as_tuples) <= universe
+        assert len(as_tuples) == len(set(as_tuples))
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            sample_block_slices((4,), (2,), 0.0)
+        with pytest.raises(ValueError):
+            sample_block_slices((4,), (2,), 1.5)
+
+    def test_empty_shape(self):
+        assert sample_block_slices((0,), (2,), 0.5) == []

@@ -1,0 +1,100 @@
+"""Tests for offline calibration workflows (paper Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.modeling import (
+    calibrate_throughput_model,
+    calibrate_write_throughput,
+    measure_compression_points,
+)
+from repro.modeling.calibration import DEFAULT_CALIBRATION_BOUNDS, DEFAULT_WRITE_SIZES
+from repro.sim import BEBOP, SUMMIT
+
+from .conftest import make_smooth_field
+
+
+class TestMeasureCompressionPoints:
+    def test_points_span_bitrates(self):
+        data = make_smooth_field((32, 32, 32))
+        bounds = (1e-1, 1e-3, 1e-5)
+        b, t = measure_compression_points(data, BEBOP, bounds=bounds)
+        assert b.shape == t.shape == (3,)
+        assert b[0] < b[-1]  # looser bound -> lower bit-rate
+        assert np.all(t > 0)
+
+    def test_throughput_within_machine_band(self):
+        data = make_smooth_field((32, 32, 32))
+        b, t = measure_compression_points(data, BEBOP, bounds=(1e-2, 1e-4))
+        lo, hi = BEBOP.cost_model.bounds_mbps()
+        assert np.all(t > 0.5 * lo)
+        assert np.all(t < 1.5 * hi)
+
+    def test_wallclock_timing_mode(self):
+        data = make_smooth_field((16, 16, 16))
+        b, t = measure_compression_points(
+            data, BEBOP, bounds=(1e-3,), timing="wallclock"
+        )
+        assert t[0] > 0
+
+    def test_unknown_timing_rejected(self):
+        data = make_smooth_field((8, 8, 8))
+        with pytest.raises(CalibrationError):
+            measure_compression_points(data, BEBOP, timing="gpu")
+
+    def test_default_bounds_match_paper(self):
+        """Paper Section IV-B: relative bounds in [1e-1, 1e-8]."""
+        assert DEFAULT_CALIBRATION_BOUNDS[0] == 0.1
+        assert DEFAULT_CALIBRATION_BOUNDS[-1] == 1e-8
+        assert len(DEFAULT_CALIBRATION_BOUNDS) == 8
+
+
+class TestCalibrateThroughputModel:
+    def test_end_to_end_fit(self):
+        data = make_smooth_field((48, 48, 48))
+        model = calibrate_throughput_model(
+            data, BEBOP, bounds=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6)
+        )
+        assert model.a < 0
+        lo, hi = BEBOP.cost_model.bounds_mbps()
+        assert lo * 0.4 < model.cmin_mbps <= model.cmax_mbps < hi * 1.5
+
+    def test_transferability(self):
+        """Paper Fig. 12: parameters fitted on one field predict another."""
+        train = make_smooth_field((48, 48, 48), seed=1)
+        test = make_smooth_field((48, 48, 48), seed=99, noise=0.02)
+        model = calibrate_throughput_model(
+            train, BEBOP, bounds=(1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+        )
+        b, t = measure_compression_points(test, BEBOP, bounds=(1e-2, 1e-3, 1e-4))
+        errs = model.relative_errors(b, t)
+        assert float(np.max(errs)) < 0.30
+
+
+class TestCalibrateWriteThroughput:
+    def test_returns_positive_cthr(self):
+        model = calibrate_write_throughput(BEBOP, nprocs=8, sizes=(2**20, 4 * 2**20))
+        assert model.cthr_bytes_per_s > 0
+
+    def test_contention_limits_cthr(self):
+        """With many procs, per-proc throughput << per-proc cap."""
+        model = calibrate_write_throughput(BEBOP, nprocs=128, sizes=(8 * 2**20,))
+        assert model.cthr_bytes_per_s < BEBOP.per_proc_bw
+
+    def test_summit_faster_than_bebop(self):
+        mb = calibrate_write_throughput(BEBOP, nprocs=32, sizes=(4 * 2**20,))
+        ms = calibrate_write_throughput(SUMMIT, nprocs=32, sizes=(4 * 2**20,))
+        assert ms.cthr_bytes_per_s > mb.cthr_bytes_per_s
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            calibrate_write_throughput(BEBOP, nprocs=0)
+        with pytest.raises(CalibrationError):
+            calibrate_write_throughput(BEBOP, nprocs=4, sizes=(0,))
+
+    def test_default_sizes_match_paper(self):
+        """Paper: 5, 10, 20, 50, 100 MB per process."""
+        assert DEFAULT_WRITE_SIZES == tuple(
+            m * 2**20 for m in (5, 10, 20, 50, 100)
+        )

@@ -1,0 +1,287 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Interrupt
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        env = Environment()
+        done = []
+
+        def proc():
+            yield env.timeout(1.5)
+            done.append(env.now)
+            yield env.timeout(0.5)
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [1.5, 2.0]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_run_until(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(10)
+
+        env.process(proc())
+        t = env.run(until=3.0)
+        assert t == 3.0
+        assert env.now == 3.0
+
+    def test_run_until_beyond_last_event(self):
+        env = Environment()
+
+        def empty():
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        env.process(empty())
+        # Empty generator terminates instantly; run to a later time.
+        t = env.run(until=5.0)
+        assert t == 5.0
+
+    def test_timeout_value_passthrough(self):
+        env = Environment()
+        got = []
+
+        def proc():
+            v = yield env.timeout(1, value="payload")
+            got.append(v)
+
+        env.process(proc())
+        env.run()
+        assert got == ["payload"]
+
+
+class TestEvents:
+    def test_manual_trigger_wakes_waiter(self):
+        env = Environment()
+        ev = env.event()
+        got = []
+
+        def waiter():
+            v = yield ev
+            got.append((env.now, v))
+
+        def trigger():
+            yield env.timeout(2)
+            ev.succeed("x")
+
+        env.process(waiter())
+        env.process(trigger())
+        env.run()
+        assert got == [(2.0, "x")]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_yield_already_processed_event(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed("early")
+        env.run()
+        got = []
+
+        def late():
+            v = yield ev
+            got.append(v)
+
+        env.process(late())
+        env.run()
+        assert got == ["early"]
+
+    def test_failed_event_raises_in_waiter(self):
+        env = Environment()
+        ev = env.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield ev
+            except RuntimeError as e:
+                caught.append(str(e))
+
+        env.process(waiter())
+        ev.fail(RuntimeError("boom"))
+        env.run()
+        assert caught == ["boom"]
+
+    def test_unwaited_failure_aborts_run(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+
+class TestProcesses:
+    def test_process_return_value(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1)
+            return 42
+
+        def parent():
+            v = yield env.process(child())
+            return v + 1
+
+        p = env.process(parent())
+        env.run()
+        assert p.value == 43
+
+    def test_process_exception_propagates_to_parent(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(1)
+            raise ValueError("child failed")
+
+        caught = []
+
+        def parent():
+            try:
+                yield env.process(child())
+            except ValueError as e:
+                caught.append(str(e))
+
+        env.process(parent())
+        env.run()
+        assert caught == ["child failed"]
+
+    def test_yield_non_event_fails_process(self):
+        env = Environment()
+
+        def bad():
+            yield 5
+
+        p = env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+        assert p.failed
+
+    def test_interrupt(self):
+        env = Environment()
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                log.append(("interrupted", env.now))
+
+        def interrupter(p):
+            yield env.timeout(3)
+            p.interrupt("wake up")
+
+        p = env.process(sleeper())
+        env.process(interrupter(p))
+        env.run()
+        assert log == [("interrupted", 3.0)]
+
+    def test_interrupt_after_completion_noop(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(1)
+
+        p = env.process(quick())
+        env.run()
+        p.interrupt()  # must not raise
+        env.run()
+
+    def test_deterministic_tie_breaking(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        env = Environment()
+
+        def child(d):
+            yield env.timeout(d)
+            return d
+
+        got = []
+
+        def parent():
+            vals = yield env.all_of([env.process(child(d)) for d in (3, 1, 2)])
+            got.append((env.now, vals))
+
+        env.process(parent())
+        env.run()
+        assert got == [(3.0, [3, 1, 2])]
+
+    def test_empty_list(self):
+        env = Environment()
+        got = []
+
+        def parent():
+            vals = yield env.all_of([])
+            got.append(vals)
+
+        env.process(parent())
+        env.run()
+        assert got == [[]]
+
+    def test_mixed_already_processed(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed("pre")
+        env.run()
+
+        def child():
+            yield env.timeout(1)
+            return "post"
+
+        got = []
+
+        def parent():
+            vals = yield env.all_of([ev, env.process(child())])
+            got.append(vals)
+
+        env.process(parent())
+        env.run()
+        assert got == [["pre", "post"]]
+
+    def test_failure_propagates(self):
+        env = Environment()
+
+        def bad():
+            yield env.timeout(1)
+            raise KeyError("oops")
+
+        caught = []
+
+        def parent():
+            try:
+                yield env.all_of([env.process(bad()), env.timeout(5)])
+            except KeyError:
+                caught.append(env.now)
+
+        env.process(parent())
+        env.run()
+        assert caught == [1.0]

@@ -1,0 +1,83 @@
+"""Tests for the GRF generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.fields import gaussian_random_field, layered_field, lognormal_field
+
+
+class TestGaussianRandomField:
+    def test_shape_and_normalization(self):
+        f = gaussian_random_field((32, 32), seed=0)
+        assert f.shape == (32, 32)
+        assert f.std() == pytest.approx(1.0, abs=1e-6)
+        assert abs(f.mean()) < 0.5
+
+    def test_deterministic(self):
+        a = gaussian_random_field((16, 16, 16), seed=42)
+        b = gaussian_random_field((16, 16, 16), seed=42)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_field(self):
+        a = gaussian_random_field((16, 16), seed=1)
+        b = gaussian_random_field((16, 16), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_steeper_spectrum_is_smoother(self):
+        smooth = gaussian_random_field((64, 64), power=-4.0, seed=3)
+        rough = gaussian_random_field((64, 64), power=-1.0, seed=3)
+        # Gradient energy is lower for steeper (smoother) spectra.
+        gs = np.mean(np.diff(smooth, axis=0) ** 2)
+        gr = np.mean(np.diff(rough, axis=0) ** 2)
+        assert gs < gr
+
+    def test_frozen_phases_reproduce(self):
+        rng = np.random.default_rng(0)
+        phases = rng.normal(size=(16, 16)) + 1j * rng.normal(size=(16, 16))
+        a = gaussian_random_field((16, 16), phases=phases)
+        b = gaussian_random_field((16, 16), phases=phases)
+        assert np.array_equal(a, b)
+
+    def test_phases_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field((8, 8), phases=np.zeros((4, 4), complex))
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field((0, 8))
+
+    def test_1d(self):
+        f = gaussian_random_field((256,), seed=5)
+        assert f.shape == (256,)
+
+
+class TestLognormalField:
+    def test_positive(self):
+        f = lognormal_field((32, 32), sigma=1.5, seed=0)
+        assert np.all(f > 0)
+
+    def test_mean_scaling(self):
+        f = lognormal_field((64, 64), sigma=0.8, mean=5.0, seed=1)
+        assert f.mean() == pytest.approx(5.0, rel=0.3)
+
+    def test_heavier_tails_with_sigma(self):
+        lo = lognormal_field((64, 64), sigma=0.5, seed=2)
+        hi = lognormal_field((64, 64), sigma=2.0, seed=2)
+        assert hi.max() / hi.mean() > lo.max() / lo.mean()
+
+
+class TestLayeredField:
+    def test_monotone_depth_trend(self):
+        f = layered_field((64, 32), n_layers=8, seed=0)
+        profile = f.mean(axis=1)
+        # Velocity increases with depth on average.
+        assert profile[-1] > profile[0]
+
+    def test_shape(self):
+        f = layered_field((32, 16, 16), seed=1)
+        assert f.shape == (32, 16, 16)
+
+    def test_deterministic(self):
+        a = layered_field((32, 32), seed=9)
+        b = layered_field((32, 32), seed=9)
+        assert np.array_equal(a, b)

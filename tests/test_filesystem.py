@@ -1,0 +1,191 @@
+"""Tests for the parallel-file-system model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.filesystem import ParallelFileSystem
+
+
+def make_fs(env, **kw):
+    defaults = dict(
+        aggregate_bw=1000.0,
+        per_proc_bw=100.0,
+        write_latency=1.0,
+        collective_efficiency=1.0,
+        collective_overhead=2.0,
+    )
+    defaults.update(kw)
+    return ParallelFileSystem(env, **defaults)
+
+
+class TestIndependentWrite:
+    def test_single_write_time(self):
+        env = Environment()
+        fs = make_fs(env)
+        times = []
+
+        def proc():
+            yield fs.independent_write(500)
+            times.append(env.now)
+
+        env.process(proc())
+        env.run()
+        # latency 1 + 500 bytes at min(100, 1000) B/s = 1 + 5 = 6.
+        assert times == [pytest.approx(6.0)]
+
+    def test_contention_slows_writers(self):
+        env = Environment()
+        fs = make_fs(env, aggregate_bw=150.0)
+        times = {}
+
+        def proc(i):
+            yield fs.independent_write(100)
+            times[i] = env.now
+
+        env.process(proc(0))
+        env.process(proc(1))
+        env.run()
+        # Two writers share 150 B/s -> 75 each (cap 100 not binding):
+        # 1 + 100/75 = 2.333...
+        assert times[0] == pytest.approx(1 + 100 / 75, rel=1e-6)
+
+    def test_zero_bytes(self):
+        env = Environment()
+        fs = make_fs(env)
+        times = []
+
+        def proc():
+            yield fs.independent_write(0)
+            times.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert times == [pytest.approx(1.0)]  # latency only
+
+    def test_ramp_throughput_shape(self):
+        env = Environment()
+        fs = make_fs(env)
+        # Saturating curve: grows with size, approaches per_proc_bw.
+        t_small = fs.ramp_throughput(10)
+        t_mid = fs.ramp_throughput(1000)
+        t_big = fs.ramp_throughput(100000)
+        assert t_small < t_mid < t_big < fs.per_proc_bw
+        assert t_big > 0.9 * fs.per_proc_bw
+
+    def test_ramp_matches_simulation(self):
+        env = Environment()
+        fs = make_fs(env)
+        done = []
+
+        def proc():
+            t0 = env.now
+            yield fs.independent_write(500)
+            done.append(500 / (env.now - t0))
+
+        env.process(proc())
+        env.run()
+        assert done[0] == pytest.approx(fs.ramp_throughput(500), rel=1e-9)
+
+
+class TestCollectiveWrite:
+    def test_all_released_together_after_last_arrival(self):
+        env = Environment()
+        fs = make_fs(env)
+        coll = fs.collective_write(3)
+        times = {}
+
+        def rank(i, delay, nbytes):
+            yield env.timeout(delay)
+            yield coll.submit(nbytes)
+            times[i] = env.now
+
+        env.process(rank(0, 0.0, 100))
+        env.process(rank(1, 4.0, 100))
+        env.process(rank(2, 2.0, 100))
+        env.run()
+        # Last arrival t=4; + overhead 2 + latency 1 + 300/1000... wait
+        # total=300 at min(1000*1.0)=1000 -> 0.3 -> all done at 7.3.
+        expected = 4.0 + 2.0 + 1.0 + 0.3
+        assert times == {i: pytest.approx(expected) for i in range(3)}
+
+    def test_oversubscription_rejected(self):
+        env = Environment()
+        fs = make_fs(env)
+        coll = fs.collective_write(1)
+        coll.submit(10)
+        with pytest.raises(SimulationError):
+            coll.submit(10)
+
+    def test_negative_payload_rejected(self):
+        env = Environment()
+        fs = make_fs(env)
+        coll = fs.collective_write(2)
+        with pytest.raises(SimulationError):
+            coll.submit(-5)
+
+    def test_zero_total_bytes(self):
+        env = Environment()
+        fs = make_fs(env)
+        coll = fs.collective_write(2)
+        times = []
+
+        def rank():
+            yield coll.submit(0)
+            times.append(env.now)
+
+        env.process(rank())
+        env.process(rank())
+        env.run()
+        assert times == [pytest.approx(3.0)] * 2  # overhead + latency only
+
+    def test_collective_vs_independent_sync_penalty(self):
+        """A straggler delays everyone in collective mode but only itself in
+        independent mode — the core premise of the paper's Fig. 4."""
+        # Collective: ranks ready at (0, 0, 10); all finish after t=10.
+        env = Environment()
+        fs = make_fs(env, write_latency=0.0, collective_overhead=0.0)
+        coll = fs.collective_write(3)
+        coll_times = {}
+
+        def c_rank(i, delay):
+            yield env.timeout(delay)
+            yield coll.submit(100)
+            coll_times[i] = env.now
+
+        for i, d in enumerate((0.0, 0.0, 10.0)):
+            env.process(c_rank(i, d))
+        env.run()
+        assert min(coll_times.values()) > 10.0
+
+        # Independent: early ranks finish well before the straggler starts.
+        env2 = Environment()
+        fs2 = make_fs(env2, write_latency=0.0)
+        ind_times = {}
+
+        def i_rank(i, delay):
+            yield env2.timeout(delay)
+            yield fs2.independent_write(100)
+            ind_times[i] = env2.now
+
+        for i, d in enumerate((0.0, 0.0, 10.0)):
+            env2.process(i_rank(i, d))
+        env2.run()
+        assert ind_times[0] < 10.0
+        assert ind_times[1] < 10.0
+
+
+class TestValidation:
+    def test_bad_bandwidths(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            ParallelFileSystem(env, aggregate_bw=0, per_proc_bw=1)
+        with pytest.raises(SimulationError):
+            ParallelFileSystem(env, aggregate_bw=1, per_proc_bw=0)
+
+    def test_bad_efficiency(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            ParallelFileSystem(
+                env, aggregate_bw=1, per_proc_bw=1, collective_efficiency=0.0
+            )

@@ -1,0 +1,233 @@
+"""Tests for the HDF5-like substrate: storage, file, groups, datasets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    FileFormatError,
+    HDF5Error,
+    InvalidStateError,
+    ObjectExistsError,
+    ObjectNotFoundError,
+)
+from repro.hdf5 import DatasetCreateProps, File
+from repro.hdf5.datatype import dtype_from_tag, dtype_tag
+from repro.hdf5.storage import HEADER_SIZE, FileStorage
+
+from .conftest import make_smooth_field
+
+
+class TestDatatype:
+    @pytest.mark.parametrize("dt", [np.float32, np.float64, np.int32, np.uint8, np.int64])
+    def test_roundtrip(self, dt):
+        tag = dtype_tag(dt)
+        assert dtype_from_tag(tag) == np.dtype(dt).newbyteorder("<")
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(FileFormatError):
+            dtype_tag(np.complex128)
+
+    def test_unknown_tag(self):
+        with pytest.raises(FileFormatError):
+            dtype_from_tag("<c16")
+
+
+class TestFileStorage:
+    def test_allocate_monotone_and_aligned(self, tmp_path):
+        st = FileStorage(str(tmp_path / "s.phd5"), "w")
+        a = st.allocate(10, alignment=8)
+        b = st.allocate(5, alignment=8)
+        assert a >= HEADER_SIZE
+        assert a % 8 == 0 and b % 8 == 0
+        assert b >= a + 10
+        st.close()
+
+    def test_place_at_advances_watermark(self, tmp_path):
+        st = FileStorage(str(tmp_path / "p.phd5"), "w")
+        st.place_at(1000, 50)
+        assert st.end_of_data >= 1050
+        next_alloc = st.allocate(8)
+        assert next_alloc >= 1050
+        st.close()
+
+    def test_place_at_header_guard(self, tmp_path):
+        st = FileStorage(str(tmp_path / "g.phd5"), "w")
+        with pytest.raises(ValueError):
+            st.place_at(0, 10)
+        st.close()
+
+    def test_finalize_and_reopen(self, tmp_path):
+        path = str(tmp_path / "f.phd5")
+        st = FileStorage(path, "w")
+        off = st.allocate(5)
+        st.write_at(b"hello", off)
+        st.finalize({"x": [1, 2, 3]})
+        st.close()
+        ro = FileStorage(path, "r")
+        assert ro.footer == {"x": [1, 2, 3]}
+        assert ro.read_at(5, off) == b"hello"
+        ro.close()
+
+    def test_unclosed_file_rejected_on_open(self, tmp_path):
+        path = str(tmp_path / "dirty.phd5")
+        st = FileStorage(path, "w")
+        st.close()  # no finalize -> footer_ptr stays 0
+        with pytest.raises(FileFormatError, match="not closed cleanly"):
+            FileStorage(path, "r")
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.bin")
+        with open(path, "wb") as f:
+            f.write(b"JUNKJUNKJUNKJUNKJUNKJUNK")
+        with pytest.raises(FileFormatError, match="magic"):
+            FileStorage(path, "r")
+
+    def test_tiny_file_rejected(self, tmp_path):
+        path = str(tmp_path / "tiny.bin")
+        with open(path, "wb") as f:
+            f.write(b"PH")
+        with pytest.raises(FileFormatError):
+            FileStorage(path, "r")
+
+
+class TestFileLifecycle:
+    def test_create_write_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "basic.phd5")
+        data = make_smooth_field((8, 8, 8))
+        with File(path, "w") as f:
+            grp = f.create_group("fields")
+            ds = grp.create_dataset("t", shape=data.shape, dtype=np.float32)
+            ds.write(data)
+            ds.attrs["units"] = "K"
+        with File(path, "r") as f:
+            ds = f["fields/t"]
+            assert np.array_equal(ds.read(), data)
+            assert ds.attrs["units"] == "K"
+
+    def test_readonly_rejects_writes(self, tmp_path):
+        path = str(tmp_path / "ro.phd5")
+        with File(path, "w") as f:
+            f.create_dataset("d", shape=(4,))
+        with File(path, "r") as f:
+            with pytest.raises(InvalidStateError):
+                f.create_dataset("e", shape=(4,))
+            with pytest.raises(InvalidStateError):
+                f["d"].write(np.zeros(4, np.float32))
+
+    def test_append_mode(self, tmp_path):
+        path = str(tmp_path / "app.phd5")
+        with File(path, "w") as f:
+            f.create_dataset("a", shape=(4,)).write(np.ones(4, np.float32))
+        with File(path, "r+") as f:
+            f.create_dataset("b", shape=(2,)).write(np.zeros(2, np.float32))
+        with File(path, "r") as f:
+            assert np.array_equal(f["a"].read(), np.ones(4, np.float32))
+            assert np.array_equal(f["b"].read(), np.zeros(2, np.float32))
+
+    def test_close_idempotent(self, tmp_path):
+        f = File(str(tmp_path / "c.phd5"), "w")
+        f.close()
+        f.close()
+
+    def test_group_attrs_persist(self, tmp_path):
+        path = str(tmp_path / "ga.phd5")
+        with File(path, "w") as f:
+            g = f.create_group("sim")
+            g.attrs["step"] = 12
+            f.root.attrs["app"] = "nyx"
+        with File(path, "r") as f:
+            assert f["sim"].attrs["step"] == 12
+            assert f.root.attrs["app"] == "nyx"
+
+    def test_bad_mode(self, tmp_path):
+        with pytest.raises(HDF5Error):
+            File(str(tmp_path / "x.phd5"), "a")
+
+
+class TestGroups:
+    def test_nested_paths(self, tmp_path):
+        with File(str(tmp_path / "n.phd5"), "w") as f:
+            f.create_group("a").create_group("b").create_dataset("d", shape=(2,))
+            assert "a/b/d" in f
+            assert f["a/b"].path == "/a/b"
+            assert f["a/b/d"].shape == (2,)
+
+    def test_duplicate_rejected(self, tmp_path):
+        with File(str(tmp_path / "dup.phd5"), "w") as f:
+            f.create_group("g")
+            with pytest.raises(ObjectExistsError):
+                f.create_group("g")
+
+    def test_require_group(self, tmp_path):
+        with File(str(tmp_path / "req.phd5"), "w") as f:
+            a = f.require_group("g")
+            b = f.require_group("g")
+            assert a is b
+
+    def test_missing_path(self, tmp_path):
+        with File(str(tmp_path / "m.phd5"), "w") as f:
+            with pytest.raises(ObjectNotFoundError):
+                f["nope/d"]
+            assert "nope" not in f
+
+    def test_invalid_names(self, tmp_path):
+        with File(str(tmp_path / "inv.phd5"), "w") as f:
+            for bad in ("", "a/b", ".", ".."):
+                with pytest.raises(HDF5Error):
+                    f.create_group(bad)
+
+    def test_listing(self, tmp_path):
+        with File(str(tmp_path / "l.phd5"), "w") as f:
+            f.create_group("g1")
+            f.create_dataset("d1", shape=(2,))
+            assert f.root.keys() == ["g1", "d1"]
+            assert len(f.root.groups()) == 1
+            assert len(f.root.datasets()) == 1
+            paths = [p for p, _ in f.root.visit()]
+            assert paths == ["/g1", "/d1"]
+
+    def test_nested_reload(self, tmp_path):
+        path = str(tmp_path / "deep.phd5")
+        with File(path, "w") as f:
+            f.create_group("x").create_group("y").create_group("z")
+        with File(path, "r") as f:
+            assert f["x/y/z"].path == "/x/y/z"
+
+
+class TestContiguousDataset:
+    def test_slab_writes_compose(self, tmp_path):
+        data = np.arange(24, dtype=np.float32).reshape(6, 4)
+        with File(str(tmp_path / "slab.phd5"), "w") as f:
+            ds = f.create_dataset("d", shape=(6, 4))
+            ds.write_slab(data[:3], (0, 0))
+            ds.write_slab(data[3:], (3, 0))
+            assert np.array_equal(ds.read(), data)
+
+    def test_slab_validation(self, tmp_path):
+        with File(str(tmp_path / "sv.phd5"), "w") as f:
+            ds = f.create_dataset("d", shape=(4, 4))
+            with pytest.raises(HDF5Error):
+                ds.write_slab(np.zeros((2, 2), np.float32), (0, 0))  # partial cols
+            with pytest.raises(HDF5Error):
+                ds.write_slab(np.zeros((8, 4), np.float32), (0, 0))  # out of bounds
+            with pytest.raises(HDF5Error):
+                ds.write_slab(np.zeros((2, 4), np.float32), (0,))  # rank
+
+    def test_shape_mismatch(self, tmp_path):
+        with File(str(tmp_path / "sm.phd5"), "w") as f:
+            ds = f.create_dataset("d", shape=(4,))
+            with pytest.raises(HDF5Error):
+                ds.write(np.zeros(5, np.float32))
+
+    def test_read_before_write(self, tmp_path):
+        with File(str(tmp_path / "rbw.phd5"), "w") as f:
+            ds = f.create_dataset("d", shape=(4,))
+            with pytest.raises(InvalidStateError):
+                ds.read()
+
+    def test_stored_nbytes(self, tmp_path):
+        with File(str(tmp_path / "sn.phd5"), "w") as f:
+            ds = f.create_dataset("d", shape=(8,))
+            assert ds.stored_nbytes == 0
+            ds.write(np.zeros(8, np.float32))
+            assert ds.stored_nbytes == 32

@@ -1,0 +1,177 @@
+"""Tests for canonical Huffman coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.huffman import (
+    MAX_CODE_LEN,
+    HuffmanCode,
+    build_code,
+    deserialize_code,
+    huffman_decode,
+    huffman_encode,
+    serialize_code,
+)
+from repro.errors import CorruptStreamError
+
+
+class TestBuildCode:
+    def test_two_symbols_one_bit_each(self):
+        code = build_code(np.array([5, 3]))
+        assert code.lengths.tolist() == [1, 1]
+
+    def test_single_symbol_gets_one_bit(self):
+        code = build_code(np.array([0, 10, 0]))
+        assert code.lengths[1] == 1
+        assert code.lengths[0] == 0 and code.lengths[2] == 0
+
+    def test_empty_frequencies(self):
+        code = build_code(np.zeros(4, dtype=np.int64))
+        assert code.max_length == 0
+
+    def test_skewed_distribution_shorter_codes_for_frequent(self):
+        freqs = np.array([1000, 100, 10, 1])
+        code = build_code(freqs)
+        lens = code.lengths
+        assert lens[0] <= lens[1] <= lens[2]
+
+    def test_kraft_inequality(self):
+        rng = np.random.default_rng(0)
+        freqs = rng.integers(0, 1000, 64)
+        code = build_code(freqs)
+        present = code.lengths[code.lengths > 0]
+        kraft = np.sum(2.0 ** (-present.astype(float)))
+        assert kraft <= 1.0 + 1e-12
+
+    def test_mean_length_near_entropy(self):
+        rng = np.random.default_rng(1)
+        p = rng.dirichlet(np.ones(32))
+        freqs = np.rint(p * 100000).astype(np.int64)
+        freqs[freqs == 0] = 1
+        code = build_code(freqs)
+        probs = freqs / freqs.sum()
+        entropy = -np.sum(probs * np.log2(probs))
+        mean = code.mean_length(freqs)
+        assert entropy <= mean + 1e-9
+        assert mean < entropy + 1.0  # Huffman is within 1 bit of entropy
+
+    def test_fixed_fallback_on_extreme_skew(self):
+        # Fibonacci-like frequencies give maximally deep trees; push past cap.
+        n = MAX_CODE_LEN + 4
+        freqs = np.ones(n, dtype=np.int64)
+        a, b = 1, 2
+        for i in range(n):
+            freqs[i] = a
+            a, b = b, a + b
+        code = build_code(freqs)
+        assert code.max_length <= MAX_CODE_LEN or code.fixed
+        if code.fixed:
+            present = code.lengths[code.lengths > 0]
+            assert len(set(present.tolist())) == 1
+
+    def test_negative_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            build_code(np.array([1, -1]))
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            build_code(np.ones((2, 2)))
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        code = build_code(np.array([7, 1, 0, 3, 3]))
+        blob = serialize_code(code, 14)
+        restored, nvalues, consumed = deserialize_code(blob + b"extra")
+        assert nvalues == 14
+        assert consumed == len(blob)
+        assert np.array_equal(restored.lengths, code.lengths)
+        assert np.array_equal(restored.codes, code.codes)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(CorruptStreamError):
+            deserialize_code(b"HU")
+
+    def test_bad_magic_rejected(self):
+        code = build_code(np.array([1, 1]))
+        blob = bytearray(serialize_code(code, 2))
+        blob[0] = ord("X")
+        with pytest.raises(CorruptStreamError):
+            deserialize_code(bytes(blob))
+
+
+class TestEncodeDecode:
+    def test_roundtrip_simple(self):
+        symbols = np.array([0, 1, 1, 2, 0, 0, 3], dtype=np.int64)
+        blob = huffman_encode(symbols, 4)
+        out, consumed = huffman_decode(blob)
+        assert np.array_equal(out, symbols)
+        assert consumed == len(blob)
+
+    def test_roundtrip_large_peaked(self):
+        rng = np.random.default_rng(2)
+        symbols = np.clip(rng.normal(512, 5, 50000), 0, 1023).astype(np.int64)
+        blob = huffman_encode(symbols, 1024)
+        out, _ = huffman_decode(blob)
+        assert np.array_equal(out, symbols)
+
+    def test_roundtrip_single_unique_symbol(self):
+        symbols = np.full(100, 7, dtype=np.int64)
+        blob = huffman_encode(symbols, 16)
+        out, _ = huffman_decode(blob)
+        assert np.array_equal(out, symbols)
+        # Degenerate stream should be tiny: ~1 bit/symbol plus table.
+        assert len(blob) < 64
+
+    def test_roundtrip_empty(self):
+        blob = huffman_encode(np.zeros(0, dtype=np.int64), 8)
+        out, consumed = huffman_decode(blob)
+        assert out.size == 0
+        assert consumed == len(blob)
+
+    def test_embedded_in_larger_buffer(self):
+        symbols = np.array([1, 2, 3] * 50, dtype=np.int64)
+        blob = huffman_encode(symbols, 8)
+        out, consumed = huffman_decode(blob + b"trailing-data")
+        assert np.array_equal(out, symbols)
+        assert consumed == len(blob)
+
+    def test_out_of_range_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            huffman_encode(np.array([5]), 4)
+        with pytest.raises(ValueError):
+            huffman_encode(np.array([-1]), 4)
+
+    def test_compression_beats_fixed_width_on_skew(self):
+        rng = np.random.default_rng(3)
+        symbols = np.where(rng.random(20000) < 0.95, 0, rng.integers(1, 256, 20000))
+        blob = huffman_encode(symbols.astype(np.int64), 256)
+        assert len(blob) < 20000  # << 1 byte/symbol
+
+    def test_long_code_path(self):
+        # Construct frequencies that force codes longer than TABLE_BITS so
+        # the slow decode path is exercised (but below the fixed fallback).
+        n = 20
+        freqs_syms = []
+        a, b = 1, 2
+        for i in range(n):
+            freqs_syms.extend([i] * a)
+            a, b = b, a + b
+        symbols = np.array(freqs_syms, dtype=np.int64)
+        blob = huffman_encode(symbols, n)
+        out, _ = huffman_decode(blob)
+        assert np.array_equal(np.sort(out), np.sort(symbols))
+
+    @given(
+        st.lists(st.integers(0, 31), min_size=0, max_size=2000),
+        st.integers(32, 64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, syms, nsymbols):
+        symbols = np.array(syms, dtype=np.int64)
+        blob = huffman_encode(symbols, nsymbols)
+        out, consumed = huffman_decode(blob)
+        assert np.array_equal(out, symbols)
+        assert consumed == len(blob)

@@ -1,0 +1,169 @@
+"""Tests for the Nyx and VPIC dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.compression import SZCompressor
+from repro.data import (
+    NYX_ABS_ERROR_BOUNDS,
+    NYX_FIELDS,
+    NYX_PARTICLE_FIELDS,
+    NyxGenerator,
+    VPIC_FIELDS,
+    VPICGenerator,
+)
+
+
+class TestNyxGenerator:
+    def test_default_fields(self):
+        g = NyxGenerator((16, 16, 16), seed=0)
+        assert g.field_names == NYX_FIELDS
+        assert len(NYX_FIELDS) == 6  # paper Section IV-A
+
+    def test_particle_fields_included_on_request(self):
+        g = NyxGenerator((16, 16, 16), seed=0, include_particles=True)
+        assert g.field_names == NYX_FIELDS + NYX_PARTICLE_FIELDS
+        assert len(g.field_names) == 9  # the 4096^3 configuration
+
+    def test_field_shapes_and_dtype(self):
+        g = NyxGenerator((8, 12, 16), seed=1)
+        for name in g.field_names:
+            f = g.field(name)
+            assert f.shape == (8, 12, 16)
+            assert f.dtype == np.float32
+
+    def test_fields_cached(self):
+        g = NyxGenerator((8, 8, 8), seed=2)
+        assert g.field("temperature") is g.field("temperature")
+
+    def test_deterministic_across_instances(self):
+        a = NyxGenerator((16, 16, 16), seed=3).field("baryon_density")
+        b = NyxGenerator((16, 16, 16), seed=3).field("baryon_density")
+        assert np.array_equal(a, b)
+
+    def test_densities_positive(self):
+        g = NyxGenerator((16, 16, 16), seed=4)
+        assert np.all(g.field("baryon_density") > 0)
+        assert np.all(g.field("dark_matter_density") > 0)
+        assert np.all(g.field("temperature") > 0)
+
+    def test_velocity_roughly_centred(self):
+        g = NyxGenerator((32, 32, 32), seed=5)
+        v = g.field("velocity_x")
+        assert abs(v.mean()) < 0.3 * v.std()
+
+    def test_error_bounds_match_paper(self):
+        assert NYX_ABS_ERROR_BOUNDS["baryon_density"] == 0.2
+        assert NYX_ABS_ERROR_BOUNDS["dark_matter_density"] == 0.4
+        assert NYX_ABS_ERROR_BOUNDS["temperature"] == 1e3
+        assert NYX_ABS_ERROR_BOUNDS["velocity_x"] == 2e5
+        g = NyxGenerator((8, 8, 8))
+        assert g.error_bound("velocity_y") == 2e5
+
+    def test_unknown_field_rejected(self):
+        g = NyxGenerator((8, 8, 8))
+        with pytest.raises(KeyError):
+            g.field("pressure")
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            NyxGenerator((8, 8))
+
+    def test_growth_validated(self):
+        with pytest.raises(ValueError):
+            NyxGenerator((8, 8, 8), growth=0.0)
+
+    def test_growth_deepens_density_tails(self):
+        early = NyxGenerator((32, 32, 32), seed=6, growth=0.5).field("baryon_density")
+        late = NyxGenerator((32, 32, 32), seed=6, growth=2.0).field("baryon_density")
+        assert late.max() / late.mean() > early.max() / early.mean()
+
+    def test_snapshot_returns_all(self):
+        g = NyxGenerator((8, 8, 8), seed=7)
+        snap = g.snapshot()
+        assert set(snap) == set(NYX_FIELDS)
+
+    def test_logical_nbytes(self):
+        g = NyxGenerator((8, 8, 8), seed=8)
+        assert g.logical_nbytes() == 8 * 8 * 8 * 4 * 6
+
+    def test_compressibility_in_paper_regime(self):
+        """With paper bounds, overall ratio should be ~10-20x (paper: ~16x)."""
+        g = NyxGenerator((48, 48, 48), seed=9)
+        tot_o = tot_c = 0
+        for name in g.field_names:
+            f = g.field(name)
+            stream = SZCompressor(bound=g.error_bound(name), mode="abs").compress(f)
+            tot_o += f.nbytes
+            tot_c += len(stream)
+        assert 6.0 < tot_o / tot_c < 25.0
+
+
+class TestVPICGenerator:
+    def test_fields(self):
+        g = VPICGenerator(1000, seed=0)
+        assert g.field_names == VPIC_FIELDS
+        assert len(VPIC_FIELDS) == 8  # paper Section IV-A
+
+    def test_shapes_and_dtype(self):
+        g = VPICGenerator(5000, seed=1)
+        for name in VPIC_FIELDS:
+            f = g.field(name)
+            assert f.shape == (5000,)
+            assert f.dtype == np.float32
+
+    def test_positions_near_monotone(self):
+        g = VPICGenerator(10000, seed=2)
+        x = g.field("x")
+        # Cell-ordered: long-range trend is increasing (within-cell jitter is
+        # unordered, as in real dumps, so only chunk means are monotone).
+        assert x[-1] > x[0]
+        chunk_means = x.reshape(10, -1).mean(axis=1)
+        assert np.all(np.diff(chunk_means) > 0)
+
+    def test_energy_consistent_with_momenta(self):
+        g = VPICGenerator(2000, seed=3)
+        ux, uy, uz = (g.field(c).astype(np.float64) for c in ("ux", "uy", "uz"))
+        expected = np.sqrt(1 + ux**2 + uy**2 + uz**2) - 1
+        assert np.allclose(g.field("energy"), expected, atol=1e-5)
+
+    def test_energy_nonnegative(self):
+        g = VPICGenerator(2000, seed=4)
+        assert np.all(g.field("energy") >= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VPICGenerator(0)
+        with pytest.raises(ValueError):
+            VPICGenerator(100, cells_per_dump=0)
+        with pytest.raises(KeyError):
+            VPICGenerator(100).field("bogus")
+        with pytest.raises(KeyError):
+            VPICGenerator(100).error_bound("bogus")
+
+    def test_deterministic(self):
+        a = VPICGenerator(1000, seed=5).field("ux")
+        b = VPICGenerator(1000, seed=5).field("ux")
+        assert np.array_equal(a, b)
+
+    def test_compressibility_near_paper_target(self):
+        """Suggested config lands near the 13.8x ratio (paper Section IV-A)."""
+        g = VPICGenerator(1 << 17, seed=6)
+        tot_o = tot_c = 0
+        for name in VPIC_FIELDS:
+            f = g.field(name)
+            stream = SZCompressor(bound=g.error_bound(name), mode="rel").compress(f)
+            tot_o += f.nbytes
+            tot_c += len(stream)
+        assert 9.0 < tot_o / tot_c < 20.0
+
+    def test_bitrate_spread_across_fields(self):
+        """Positions/weight compress far better than momenta (wide spread)."""
+        g = VPICGenerator(1 << 16, seed=7)
+        brs = {}
+        for name in VPIC_FIELDS:
+            f = g.field(name)
+            stream = SZCompressor(bound=g.error_bound(name), mode="rel").compress(f)
+            brs[name] = 8 * len(stream) / f.size
+        assert brs["x"] < brs["ux"] / 4
+        assert brs["weight"] < brs["energy"] / 4

@@ -1,0 +1,109 @@
+"""Tests for domain decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import (
+    Partition,
+    grid_partition,
+    partition_particles,
+    process_grid,
+)
+
+
+class TestProcessGrid:
+    def test_cube_counts(self):
+        assert sorted(process_grid(8)) == [2, 2, 2]
+        assert sorted(process_grid(64)) == [4, 4, 4]
+
+    def test_non_cube_counts(self):
+        dims = process_grid(12)
+        assert int(np.prod(dims)) == 12
+        assert max(dims) / min(dims) <= 3
+
+    def test_prime(self):
+        assert sorted(process_grid(7)) == [1, 1, 7]
+
+    def test_one_rank(self):
+        assert process_grid(1) == (1, 1, 1)
+
+    def test_2d(self):
+        dims = process_grid(6, ndim=2)
+        assert int(np.prod(dims)) == 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            process_grid(0)
+
+    @given(st.integers(1, 512))
+    @settings(max_examples=60, deadline=None)
+    def test_property_product(self, n):
+        dims = process_grid(n)
+        assert int(np.prod(dims)) == n
+
+
+class TestGridPartition:
+    def test_exact_cover(self):
+        shape = (16, 16, 16)
+        parts = grid_partition(shape, 8)
+        seen = np.zeros(shape, dtype=int)
+        for p in parts:
+            seen[p.slices] += 1
+        assert np.all(seen == 1)
+
+    def test_rank_order(self):
+        parts = grid_partition((8, 8, 8), 8)
+        assert [p.rank for p in parts] == list(range(8))
+
+    def test_uneven_split(self):
+        parts = grid_partition((10, 10, 10), 27)
+        total = sum(p.n_values for p in parts)
+        assert total == 1000
+
+    def test_extract_matches_slices(self):
+        data = np.arange(4 * 4 * 4).reshape(4, 4, 4)
+        parts = grid_partition(data.shape, 8)
+        recon = np.empty_like(data)
+        for p in parts:
+            recon[p.slices] = p.extract(data)
+        assert np.array_equal(recon, data)
+
+    def test_partition_shape_property(self):
+        p = Partition(rank=0, slices=(slice(0, 3), slice(2, 7)))
+        assert p.shape == (3, 5)
+        assert p.n_values == 15
+
+    def test_too_many_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            grid_partition((2, 2, 2), 64)
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_property_cover(self, nranks):
+        shape = (64, 64, 64)
+        parts = grid_partition(shape, nranks)
+        seen = np.zeros(shape, dtype=int)
+        for p in parts:
+            seen[p.slices] += 1
+        assert np.all(seen == 1)
+        assert len(parts) == nranks
+
+
+class TestPartitionParticles:
+    def test_cover_and_balance(self):
+        parts = partition_particles(1000, 7)
+        total = sum(p.n_values for p in parts)
+        assert total == 1000
+        sizes = [p.n_values for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_contiguous(self):
+        parts = partition_particles(100, 4)
+        for a, b in zip(parts[:-1], parts[1:]):
+            assert a.slices[0].stop == b.slices[0].start
+
+    def test_too_few_particles(self):
+        with pytest.raises(ValueError):
+            partition_particles(3, 4)

@@ -1,0 +1,100 @@
+"""Tests for the Lorenzo delta transforms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.compression.predictors import (
+    BlockMeanPredictor,
+    LorenzoPredictor,
+    lorenzo_forward,
+    lorenzo_inverse,
+)
+
+
+class TestLorenzoIdentity:
+    def test_1d_matches_definition(self):
+        q = np.array([3, 5, 4, 4, 10], dtype=np.int64)
+        d = lorenzo_forward(q)
+        assert d.tolist() == [3, 2, -1, 0, 6]
+
+    def test_2d_matches_inclusion_exclusion(self):
+        rng = np.random.default_rng(0)
+        q = rng.integers(-50, 50, (6, 7)).astype(np.int64)
+        d = lorenzo_forward(q)
+        qp = np.pad(q, ((1, 0), (1, 0)))
+        expected = qp[1:, 1:] - qp[:-1, 1:] - qp[1:, :-1] + qp[:-1, :-1]
+        assert np.array_equal(d, expected)
+
+    def test_3d_matches_inclusion_exclusion(self):
+        rng = np.random.default_rng(1)
+        q = rng.integers(-9, 9, (4, 5, 3)).astype(np.int64)
+        d = lorenzo_forward(q)
+        qp = np.pad(q, ((1, 0), (1, 0), (1, 0)))
+        expected = (
+            qp[1:, 1:, 1:]
+            - qp[:-1, 1:, 1:]
+            - qp[1:, :-1, 1:]
+            - qp[1:, 1:, :-1]
+            + qp[:-1, :-1, 1:]
+            + qp[:-1, 1:, :-1]
+            + qp[1:, :-1, :-1]
+            - qp[:-1, :-1, :-1]
+        )
+        assert np.array_equal(d, expected)
+
+    def test_roundtrip_3d(self):
+        rng = np.random.default_rng(2)
+        q = rng.integers(-(10**9), 10**9, (8, 9, 10)).astype(np.int64)
+        assert np.array_equal(lorenzo_inverse(lorenzo_forward(q)), q)
+
+    def test_roundtrip_1d(self):
+        q = np.array([0, -1, 7, 7, 7, -100], dtype=np.int64)
+        assert np.array_equal(lorenzo_inverse(lorenzo_forward(q)), q)
+
+    def test_smooth_data_gives_small_deltas(self):
+        # The whole point of Lorenzo: smooth data -> tightly clustered deltas.
+        x = np.linspace(0, 2 * np.pi, 64)
+        q = np.rint(1000 * np.sin(x[:, None]) * np.cos(x[None, :])).astype(np.int64)
+        d = lorenzo_forward(q)
+        interior = d[1:, 1:]
+        assert np.abs(interior).max() < np.abs(q).max() / 10
+
+    def test_constant_field_deltas_are_zero_inside(self):
+        q = np.full((5, 5, 5), 42, dtype=np.int64)
+        d = lorenzo_forward(q)
+        assert d[0, 0, 0] == 42
+        d[0, 0, 0] = 0
+        assert np.count_nonzero(d) == 0
+
+    @given(
+        arrays(
+            dtype=np.int64,
+            shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=8),
+            elements=st.integers(-(2**40), 2**40),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, q):
+        assert np.array_equal(lorenzo_inverse(lorenzo_forward(q)), q)
+
+
+class TestPredictorObjects:
+    def test_lorenzo_object_consistency(self):
+        p = LorenzoPredictor()
+        q = np.arange(27, dtype=np.int64).reshape(3, 3, 3)
+        assert np.array_equal(p.inverse(p.forward(q)), q)
+        assert np.array_equal(p.forward(q), lorenzo_forward(q))
+
+    def test_blockmean_roundtrip(self):
+        p = BlockMeanPredictor(block=4)
+        rng = np.random.default_rng(5)
+        q = rng.integers(-100, 100, (9, 9)).astype(np.int64)
+        assert np.array_equal(p.inverse(p.forward(q)), q)
+
+    def test_blockmean_validates_block(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BlockMeanPredictor(block=1)

@@ -1,0 +1,115 @@
+"""Tests for the sampling-based ratio-quality model."""
+
+import numpy as np
+import pytest
+
+from repro.compression import SZCompressor
+from repro.data import NyxGenerator
+from repro.errors import ModelingError
+from repro.modeling import RatioQualityModel
+
+from .conftest import make_smooth_field
+
+
+class TestRatioPredictionAccuracy:
+    def test_accuracy_in_normal_regime(self):
+        """Paper claim: estimation accuracy consistently above 90% in the
+        operating band (bit-rates ~2-8)."""
+        g = NyxGenerator((48, 48, 48), seed=11)
+        for name in g.field_names:
+            data = g.field(name)
+            codec = SZCompressor(bound=g.error_bound(name), mode="abs")
+            pred = RatioQualityModel(codec).predict(data)
+            actual = len(codec.compress(data))
+            rel_err = abs(pred.predicted_nbytes - actual) / actual
+            assert rel_err < 0.15, f"{name}: {rel_err:.1%}"
+
+    def test_degrades_at_extreme_ratio(self):
+        """Paper Section III-D: the model performs poorly above ratio ~32
+        (bit-rate < 1) because of the RLE-based lossless analysis.  Compare
+        mean error at extreme vs. normal bounds over several fields."""
+        g = NyxGenerator((48, 48, 48), seed=12)
+
+        def mean_error(bound_scale: float) -> tuple[float, float]:
+            errs, ratios = [], []
+            for name in ("baryon_density", "temperature", "velocity_x"):
+                data = g.field(name)
+                codec = SZCompressor(
+                    bound=g.error_bound(name) * bound_scale, mode="abs"
+                )
+                pred = RatioQualityModel(codec).predict(data)
+                actual = len(codec.compress(data))
+                errs.append(abs(pred.predicted_nbytes - actual) / actual)
+                ratios.append(data.nbytes / actual)
+            return float(np.mean(errs)), float(np.mean(ratios))
+
+        err_normal, ratio_normal = mean_error(1.0)
+        err_extreme, ratio_extreme = mean_error(100.0)
+        assert ratio_normal < 32 < ratio_extreme
+        assert err_extreme > 2 * err_normal
+
+    def test_prediction_monotone_in_bound(self):
+        data = make_smooth_field((32, 32, 32))
+        sizes = []
+        for eb in (1e-4, 1e-3, 1e-2):
+            codec = SZCompressor(bound=eb, mode="rel")
+            sizes.append(RatioQualityModel(codec).predict(data).predicted_nbytes)
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_derived_quantities(self):
+        data = make_smooth_field((24, 24, 24))
+        codec = SZCompressor(bound=1e-3, mode="rel")
+        pred = RatioQualityModel(codec).predict(data)
+        assert pred.bit_rate == pytest.approx(
+            8 * pred.predicted_nbytes / data.size
+        )
+        assert pred.ratio == pytest.approx(data.nbytes / pred.predicted_nbytes)
+        assert pred.n_values == data.size
+
+    def test_sampling_is_much_cheaper_than_compression(self):
+        """Paper: prediction overhead <10% of compression time."""
+        import time
+
+        data = make_smooth_field((48, 48, 48))
+        codec = SZCompressor(bound=1e-3, mode="rel")
+        model = RatioQualityModel(codec)
+        model.predict(data)  # warm-up
+        t0 = time.perf_counter()
+        model.predict(data)
+        t_pred = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        codec.compress(data)
+        t_comp = time.perf_counter() - t0
+        assert t_pred < 0.5 * t_comp  # generous CI margin over the 10% claim
+
+
+class TestEstimatorVariants:
+    def test_zlib_sample_estimator_runs(self):
+        data = make_smooth_field((24, 24, 24))
+        codec = SZCompressor(bound=1e-2, mode="rel")
+        pred = RatioQualityModel(codec, lossless_estimator="zlib-sample").predict(data)
+        assert pred.predicted_nbytes > 0
+
+    def test_none_estimator_factor_is_one(self):
+        data = make_smooth_field((24, 24, 24))
+        codec = SZCompressor(bound=1e-2, mode="rel")
+        pred = RatioQualityModel(codec, lossless_estimator="none").predict(data)
+        assert pred.lossless_factor == 1.0
+
+    def test_lossless_none_codec_factor_is_one(self):
+        data = make_smooth_field((24, 24, 24))
+        codec = SZCompressor(bound=1e-2, mode="rel", lossless="none")
+        pred = RatioQualityModel(codec).predict(data)
+        assert pred.lossless_factor == 1.0
+
+    def test_unknown_estimator_rejected(self):
+        codec = SZCompressor()
+        with pytest.raises(ModelingError):
+            RatioQualityModel(codec, lossless_estimator="lz4")
+
+    def test_prediction_independent_of_instance(self):
+        data = make_smooth_field((16, 16, 16))
+        codec = SZCompressor(bound=1e-3, mode="rel")
+        a = RatioQualityModel(codec).predict(data).predicted_nbytes
+        b = RatioQualityModel(codec).predict(data).predicted_nbytes
+        assert a == b

@@ -1,0 +1,84 @@
+"""Tests for the parallel read-back pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.compression import SZCompressor
+from repro.core.pipeline import predictive_write_pipeline
+from repro.core.reader import parallel_read_pipeline, read_rank_partition
+from repro.data import NyxGenerator, grid_partition
+from repro.errors import HDF5Error
+from repro.hdf5 import File, FileAccessProps
+from repro.mpi import run_spmd
+
+SHAPE = (24, 24, 24)
+NRANKS = 4
+
+
+@pytest.fixture
+def written_file(tmp_path):
+    gen = NyxGenerator(SHAPE, seed=31)
+    names = list(gen.field_names[:3])
+    parts = grid_partition(SHAPE, NRANKS)
+    codecs = {n: SZCompressor(bound=gen.error_bound(n), mode="abs") for n in names}
+    path = str(tmp_path / "snap.phd5")
+    f = File(path, "w", fapl=FileAccessProps(async_io=True))
+
+    def rank_fn(comm):
+        p = parts[comm.rank]
+        local = {n: np.ascontiguousarray(p.extract(gen.field(n))) for n in names}
+        region = [[s.start, s.stop] for s in p.slices]
+        return predictive_write_pipeline(comm, f, local, region, SHAPE, codecs)
+
+    run_spmd(NRANKS, rank_fn)
+    f.close()
+    return path, gen, names, parts
+
+
+class TestParallelRead:
+    @pytest.mark.parametrize("overlap", [True, False])
+    def test_each_rank_reads_its_partition(self, written_file, overlap):
+        path, gen, names, parts = written_file
+        f = File(path, "r", fapl=FileAccessProps(async_io=True))
+
+        def rank_fn(comm):
+            arrays, stats = parallel_read_pipeline(comm, f, overlap=overlap)
+            p = parts[comm.rank]
+            for n in names:
+                expected = p.extract(gen.field(n))
+                err = np.max(np.abs(arrays[n].astype(np.float64) - expected))
+                assert err <= gen.error_bound(n) * (1 + 1e-6)
+            return stats
+
+        stats = run_spmd(NRANKS, rank_fn)
+        f.close()
+        assert all(s.ratio > 1.0 for s in stats)
+        assert all(s.fields_read == names for s in stats)
+
+    def test_field_subset(self, written_file):
+        path, gen, names, parts = written_file
+        f = File(path, "r", fapl=FileAccessProps(async_io=True))
+
+        def rank_fn(comm):
+            arrays, stats = parallel_read_pipeline(comm, f, field_names=names[:1])
+            return sorted(arrays)
+
+        out = run_spmd(NRANKS, rank_fn)
+        f.close()
+        assert all(o == [names[0]] for o in out)
+
+    def test_single_partition_helper(self, written_file):
+        path, gen, names, parts = written_file
+        with File(path, "r") as f:
+            ds = f[f"fields/{names[0]}"]
+            block = read_rank_partition(ds, 2)
+            expected = parts[2].extract(gen.field(names[0]))
+            assert block.shape == expected.shape
+
+    def test_requires_declared_layout(self, tmp_path):
+        path = str(tmp_path / "raw.phd5")
+        with File(path, "w") as f:
+            ds = f.create_dataset("d", shape=(4,))
+            ds.write(np.zeros(4, np.float32))
+            with pytest.raises(HDF5Error):
+                read_rank_partition(ds, 0)

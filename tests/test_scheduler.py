@@ -1,0 +1,140 @@
+"""Tests for Algorithm 1 (compression-order optimization)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import (
+    CompressionTask,
+    johnson_order,
+    optimize_order,
+    queue_time,
+    reordering_benefit,
+)
+from repro.errors import SchedulingError
+
+
+def T(c, w, name=""):
+    return CompressionTask(field=name or f"{c}-{w}", predicted_compress_seconds=c,
+                           predicted_write_seconds=w)
+
+
+class TestQueueTime:
+    def test_empty(self):
+        assert queue_time([]) == 0.0
+
+    def test_single_task(self):
+        assert queue_time([T(2, 3)]) == 5.0
+
+    def test_paper_time_semantics(self):
+        """Matches the TIME procedure line by line."""
+        q = [T(1, 4), T(2, 1)]
+        # tc=1, tw=4+max(1,0)=5 ; tc=3, tw=1+max(3,5)=6
+        assert queue_time(q) == 6.0
+
+    def test_write_bound_queue(self):
+        # Writes dominate: makespan = first comp + sum of writes.
+        q = [T(1, 10), T(1, 10)]
+        assert queue_time(q) == 1 + 10 + 10
+
+    def test_compress_bound_queue(self):
+        # Compression dominates: makespan = total comp + last write.
+        q = [T(10, 1), T(10, 1)]
+        assert queue_time(q) == 21.0
+
+    def test_total_compression_order_invariant(self):
+        """Paper: 'the total compression time is theoretically fixed
+        regardless of the compression order'."""
+        tasks = [T(1, 5), T(3, 2), T(2, 4)]
+        for order in ([0, 1, 2], [2, 1, 0], [1, 0, 2]):
+            tc = sum(tasks[i].predicted_compress_seconds for i in order)
+            assert tc == 6
+
+
+class TestOptimizeOrder:
+    def test_preserves_multiset(self):
+        tasks = [T(1, 2, "a"), T(2, 1, "b"), T(3, 3, "c")]
+        out = optimize_order(tasks)
+        assert sorted(t.field for t in out) == ["a", "b", "c"]
+
+    def test_never_worse_than_original(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            tasks = [T(float(rng.uniform(0.1, 3)), float(rng.uniform(0.1, 3))) for _ in range(6)]
+            assert queue_time(optimize_order(tasks)) <= queue_time(tasks) + 1e-12
+
+    def test_moves_long_write_early(self):
+        """Fig. 4 intuition: the field with the long write compresses first."""
+        tasks = [T(1, 0.1, "small"), T(1, 0.1, "small2"), T(1, 5, "big")]
+        out = optimize_order(tasks)
+        assert out[0].field == "big"
+
+    def test_matches_johnson_on_small_instances(self):
+        """Exhaustive check vs the optimal 2-machine flow-shop schedule."""
+        import itertools
+
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            tasks = [T(float(rng.uniform(0.1, 2)), float(rng.uniform(0.1, 2))) for _ in range(5)]
+            best = min(
+                queue_time(list(perm)) for perm in itertools.permutations(tasks)
+            )
+            heuristic = queue_time(optimize_order(tasks))
+            johnson = queue_time(johnson_order(tasks))
+            assert johnson == pytest.approx(best, rel=1e-12)
+            # The greedy insertion heuristic is near-optimal in practice.
+            assert heuristic <= best * 1.10 + 1e-12
+
+    def test_empty_and_single(self):
+        assert optimize_order([]) == []
+        t = T(1, 1)
+        assert optimize_order([t]) == [t]
+
+    def test_deterministic(self):
+        tasks = [T(1, 1, "a"), T(1, 1, "b"), T(1, 1, "c")]
+        assert [t.field for t in optimize_order(tasks)] == [
+            t.field for t in optimize_order(tasks)
+        ]
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(SchedulingError):
+            T(-1, 1)
+        with pytest.raises(SchedulingError):
+            T(1, -1)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.01, 10), st.floats(0.01, 10)),
+            min_size=0,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_never_worse(self, pairs):
+        tasks = [T(c, w) for c, w in pairs]
+        assert queue_time(optimize_order(tasks)) <= queue_time(tasks) + 1e-9
+
+
+class TestReorderingBenefit:
+    def test_zero_for_empty(self):
+        assert reordering_benefit([]) == 0.0
+
+    def test_positive_when_big_write_is_last(self):
+        tasks = [T(1, 0.1), T(1, 0.1), T(1, 3)]
+        assert reordering_benefit(tasks) > 0.1
+
+    def test_unbalanced_regimes_have_little_benefit(self):
+        """Paper Fig. 10: extreme write-heavy or compress-heavy queues gain
+        nothing from reordering."""
+        write_heavy = [T(0.01, 5), T(0.01, 4), T(0.01, 6)]
+        compress_heavy = [T(5, 0.01), T(4, 0.01), T(6, 0.01)]
+        assert reordering_benefit(write_heavy) < 0.02
+        assert reordering_benefit(compress_heavy) < 0.02
+
+    def test_balanced_diverse_queue_benefits(self):
+        """Paper: benefit is largest with many fields and balanced times."""
+        rng = np.random.default_rng(2)
+        tasks = [T(1.0, float(rng.uniform(0.2, 2.0))) for _ in range(9)]
+        few = tasks[:2]
+        assert reordering_benefit(tasks) >= reordering_benefit(few) - 1e-9

@@ -1,0 +1,112 @@
+"""Property-based tests on simulator invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Environment
+from repro.sim.resources import FluidBandwidth
+
+
+class TestFluidConservation:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 5.0),      # start time
+                st.floats(1.0, 1000.0),   # bytes
+                st.one_of(st.none(), st.floats(1.0, 50.0)),  # cap
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.floats(10.0, 200.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_transfers_complete_and_work_conserved(self, specs, capacity):
+        """Every flow completes, and total simulated time is at least the
+        work lower bound (total bytes / capacity) and at most the serial
+        upper bound under the slowest cap."""
+        env = Environment()
+        bw = FluidBandwidth(env, capacity)
+        done_at: dict[int, float] = {}
+
+        def proc(i, t0, nbytes, cap):
+            yield env.timeout(t0)
+            yield bw.transfer(nbytes, rate_cap=cap)
+            done_at[i] = env.now
+
+        for i, (t0, nbytes, cap) in enumerate(specs):
+            env.process(proc(i, t0, nbytes, cap))
+        end = env.run()
+        assert len(done_at) == len(specs)
+        assert bw.active_flows == 0
+        total_bytes = sum(s[1] for s in specs)
+        last_start = max(s[0] for s in specs)
+        # Work conservation lower bound (arrivals can only delay finish).
+        assert end >= total_bytes / capacity - 1e-6
+        # Upper bound: serial execution at each flow's own effective rate.
+        serial = last_start + sum(
+            s[1] / min(capacity, s[2] if s[2] else capacity) for s in specs
+        )
+        assert end <= serial + 1e-6
+
+    @given(st.integers(1, 40), st.floats(50.0, 500.0))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetric_flows_finish_together(self, n, capacity):
+        env = Environment()
+        bw = FluidBandwidth(env, capacity)
+        finish = []
+
+        def proc():
+            yield bw.transfer(100.0)
+            finish.append(env.now)
+
+        for _ in range(n):
+            env.process(proc())
+        env.run()
+        assert len(finish) == n
+        assert max(finish) - min(finish) < 1e-6
+        assert max(finish) == pytest.approx(100.0 * n / capacity, rel=1e-6)
+
+    def test_slot_recycling_under_churn(self):
+        """Thousands of short transfers reuse slots without growth blowup."""
+        env = Environment()
+        bw = FluidBandwidth(env, 1000.0)
+        count = {"done": 0}
+
+        def proc(i):
+            yield env.timeout(i * 0.001)
+            yield bw.transfer(1.0)
+            count["done"] += 1
+
+        for i in range(2000):
+            env.process(proc(i))
+        env.run()
+        assert count["done"] == 2000
+        assert bw._remaining.size <= 4096  # grew at most a few doublings
+
+
+class TestEngineDeterminism:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_identical_runs(self, seed):
+        """Two identical simulations produce identical event orderings."""
+
+        def build():
+            rng = np.random.default_rng(seed)
+            env = Environment()
+            bw = FluidBandwidth(env, 100.0)
+            log = []
+
+            def proc(i, delay, nbytes):
+                yield env.timeout(delay)
+                yield bw.transfer(nbytes)
+                log.append((i, env.now))
+
+            for i in range(8):
+                env.process(proc(i, float(rng.uniform(0, 2)), float(rng.uniform(1, 200))))
+            env.run()
+            return log
+
+        assert build() == build()

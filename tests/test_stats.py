@@ -1,0 +1,92 @@
+"""Tests for rate/distortion statistics."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    bit_rate,
+    compression_ratio,
+    max_abs_error,
+    mse,
+    psnr,
+    value_range,
+)
+
+
+class TestValueRange:
+    def test_simple(self):
+        assert value_range(np.array([1.0, 5.0, -2.0])) == 7.0
+
+    def test_constant(self):
+        assert value_range(np.full(10, 3.0)) == 0.0
+
+    def test_empty(self):
+        assert value_range(np.array([])) == 0.0
+
+
+class TestRatioAndBitrate:
+    def test_ratio(self):
+        assert compression_ratio(100, 10) == 10.0
+
+    def test_ratio_invalid(self):
+        with pytest.raises(ValueError):
+            compression_ratio(100, 0)
+
+    def test_bit_rate_float32(self):
+        # 1000 float32 values compressed to 500 bytes -> 4 bits/value.
+        assert bit_rate(1000, 500) == 4.0
+
+    def test_bit_rate_invalid(self):
+        with pytest.raises(ValueError):
+            bit_rate(0, 10)
+
+    def test_ratio_bitrate_duality(self):
+        n, nbytes = 4096, 1234
+        assert bit_rate(n, nbytes) == pytest.approx(
+            32.0 / compression_ratio(4 * n, nbytes)
+        )
+
+
+class TestErrors:
+    def test_mse_zero_for_identical(self):
+        a = np.arange(10.0)
+        assert mse(a, a) == 0.0
+
+    def test_mse_value(self):
+        assert mse(np.zeros(4), np.ones(4)) == 1.0
+
+    def test_max_abs_error(self):
+        a = np.array([0.0, 1.0])
+        b = np.array([0.5, 1.1])
+        assert max_abs_error(a, b) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(3), np.zeros(4))
+
+    def test_empty_arrays(self):
+        assert mse(np.array([]), np.array([])) == 0.0
+        assert max_abs_error(np.array([]), np.array([])) == 0.0
+
+
+class TestPSNR:
+    def test_exact_reconstruction_is_inf(self):
+        a = np.arange(16.0)
+        assert psnr(a, a) == float("inf")
+
+    def test_known_value(self):
+        a = np.array([0.0, 1.0])
+        b = np.array([0.1, 1.0])
+        # range=1, mse=0.005 -> psnr = -10*log10(0.005)
+        assert psnr(a, b) == pytest.approx(-10 * np.log10(0.005))
+
+    def test_constant_original_with_error(self):
+        assert psnr(np.zeros(4), np.ones(4)) == float("-inf")
+
+    def test_monotone_in_error(self):
+        a = np.linspace(0, 1, 100)
+        small = psnr(a, a + 1e-4)
+        large = psnr(a, a + 1e-2)
+        assert small > large

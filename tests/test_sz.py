@@ -1,0 +1,164 @@
+"""Tests for the SZ-style compressor: round trips, error bounds, container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import SZCompressor, parse_stream_info
+from repro.compression.sz import DEFAULT_RADIUS
+from repro.errors import CompressionError, CorruptStreamError
+
+from .conftest import make_smooth_field
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_abs_bound_holds_3d(self, dtype):
+        data = make_smooth_field((20, 20, 20), dtype=dtype)
+        eb = 1e-3
+        codec = SZCompressor(bound=eb, mode="abs")
+        recon = codec.decompress(codec.compress(data))
+        assert recon.dtype == data.dtype
+        assert recon.shape == data.shape
+        assert np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))) <= eb
+
+    def test_rel_bound_holds(self, smooth3d):
+        codec = SZCompressor(bound=1e-3, mode="rel")
+        recon = codec.decompress(codec.compress(smooth3d))
+        eb = 1e-3 * float(smooth3d.max() - smooth3d.min())
+        assert np.max(np.abs(recon - smooth3d)) <= eb * (1 + 1e-9)
+
+    def test_1d_signal(self, smooth1d):
+        codec = SZCompressor(bound=1e-4, mode="rel")
+        recon = codec.decompress(codec.compress(smooth1d))
+        assert recon.shape == smooth1d.shape
+
+    def test_2d_field(self, smooth2d):
+        codec = SZCompressor(bound=1e-3, mode="rel")
+        recon = codec.decompress(codec.compress(smooth2d))
+        assert recon.shape == smooth2d.shape
+
+    def test_constant_field(self):
+        data = np.full((8, 8), 3.25, dtype=np.float32)
+        codec = SZCompressor(bound=1e-2, mode="rel")
+        recon = codec.decompress(codec.compress(data))
+        assert np.allclose(recon, data)
+
+    def test_tiny_array(self):
+        data = np.array([1.5], dtype=np.float64)
+        codec = SZCompressor(bound=0.1, mode="abs")
+        recon = codec.decompress(codec.compress(data))
+        assert abs(recon[0] - 1.5) <= 0.1 + 1e-12
+
+    def test_noise_heavy_data_still_bounded(self, rough3d):
+        codec = SZCompressor(bound=1e-4, mode="rel")
+        recon = codec.decompress(codec.compress(rough3d))
+        eb = 1e-4 * float(rough3d.max() - rough3d.min())
+        assert np.max(np.abs(recon - rough3d)) <= eb * (1 + 1e-9)
+
+    @pytest.mark.parametrize("lossless", ["zlib", "rle", "none"])
+    def test_all_lossless_backends(self, smooth3d, lossless):
+        codec = SZCompressor(bound=1e-3, mode="rel", lossless=lossless)
+        recon = codec.decompress(codec.compress(smooth3d))
+        eb = 1e-3 * float(smooth3d.max() - smooth3d.min())
+        assert np.max(np.abs(recon - smooth3d)) <= eb * (1 + 1e-9)
+
+    def test_small_radius_forces_outliers(self, smooth3d):
+        codec = SZCompressor(bound=1e-6, mode="rel", radius=4)
+        stream = codec.compress(smooth3d)
+        info = parse_stream_info(stream)
+        assert info.n_outliers > 0
+        recon = codec.decompress(stream)
+        eb = 1e-6 * float(smooth3d.max() - smooth3d.min())
+        # Casting the float64 reconstruction back to float32 can add half an
+        # ulp on top of the quantizer's bound; allow that slack.
+        ulp = float(np.finfo(np.float32).eps) * float(np.abs(smooth3d).max())
+        assert np.max(np.abs(recon - smooth3d)) <= eb + ulp
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.floats(1e-5, 1e-1),
+        st.sampled_from([(65,), (9, 11), (5, 6, 7)]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_error_bound(self, seed, eb, shape):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(0, 1, shape)
+        codec = SZCompressor(bound=eb, mode="abs")
+        recon = codec.decompress(codec.compress(data))
+        assert np.max(np.abs(recon - data)) <= eb * (1 + 1e-9)
+
+
+class TestRateBehaviour:
+    def test_larger_bound_smaller_stream(self, smooth3d):
+        small = len(SZCompressor(bound=1e-5, mode="rel").compress(smooth3d))
+        large = len(SZCompressor(bound=1e-2, mode="rel").compress(smooth3d))
+        assert large < small
+
+    def test_smooth_beats_noise(self, smooth3d, rough3d):
+        codec = SZCompressor(bound=1e-3, mode="rel")
+        smooth_br = 8 * len(codec.compress(smooth3d)) / smooth3d.size
+        rough_br = 8 * len(codec.compress(rough3d)) / rough3d.size
+        assert smooth_br < rough_br
+
+    def test_achieves_high_ratio_on_smooth_data(self):
+        data = make_smooth_field((32, 32, 32), noise=0.0)
+        codec = SZCompressor(bound=1e-2, mode="rel")
+        stream = codec.compress(data)
+        assert data.nbytes / len(stream) > 8.0
+
+
+class TestValidation:
+    def test_rejects_integers(self):
+        with pytest.raises(CompressionError):
+            SZCompressor().compress(np.arange(10))
+
+    def test_rejects_scalar(self):
+        with pytest.raises(CompressionError):
+            SZCompressor().compress(np.float32(1.0))
+
+    def test_rejects_tiny_radius(self):
+        with pytest.raises(CompressionError):
+            SZCompressor(radius=1)
+
+    def test_max_error_reporting(self):
+        assert SZCompressor(bound=0.5, mode="abs").max_error() == 0.5
+        assert SZCompressor(bound=0.5, mode="rel").max_error() is None
+
+    def test_default_radius_matches_sz(self):
+        assert DEFAULT_RADIUS == 32768
+
+
+class TestContainer:
+    def test_stream_info_fields(self, smooth3d):
+        codec = SZCompressor(bound=1e-3, mode="rel")
+        stream = codec.compress(smooth3d)
+        info = parse_stream_info(stream)
+        assert info.shape == smooth3d.shape
+        assert info.dtype == smooth3d.dtype
+        assert info.mode == "rel"
+        assert info.n_values == smooth3d.size
+        assert info.total_nbytes == len(stream)
+        assert info.compression_ratio == pytest.approx(smooth3d.nbytes / len(stream))
+        assert info.bit_rate == pytest.approx(8 * len(stream) / smooth3d.size)
+
+    def test_bad_magic_rejected(self, smooth3d):
+        stream = bytearray(SZCompressor().compress(smooth3d))
+        stream[0] = ord("X")
+        with pytest.raises(CorruptStreamError):
+            parse_stream_info(bytes(stream))
+
+    def test_truncated_stream_rejected(self, smooth3d):
+        stream = SZCompressor().compress(smooth3d)
+        with pytest.raises(CorruptStreamError):
+            SZCompressor().decompress(stream[: len(stream) // 2])
+
+    def test_stream_is_self_contained(self, smooth3d):
+        codec = SZCompressor(bound=1e-3, mode="rel")
+        stream = codec.compress(smooth3d)
+        # A *different* codec instance with different defaults must decode it.
+        other = SZCompressor(bound=0.5, mode="abs", radius=64, lossless="none")
+        recon = other.decompress(stream)
+        eb = 1e-3 * float(smooth3d.max() - smooth3d.min())
+        assert np.max(np.abs(recon - smooth3d)) <= eb * (1 + 1e-9)

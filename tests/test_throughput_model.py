@@ -1,0 +1,128 @@
+"""Tests for Eq. (1) throughput model and Eq. (2) write model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError, ModelingError
+from repro.modeling import PowerLawThroughputModel, RampWriteModel, StableWriteModel
+from repro.sim import SZCostModel
+
+
+class TestPowerLawModel:
+    def test_normalization_at_bitrate_3(self):
+        """Eq. (1): S(3) = Cmax by construction."""
+        m = PowerLawThroughputModel(cmin_mbps=100, cmax_mbps=240, a=-1.716)
+        assert m.throughput_mbps(3.0) == pytest.approx(240.0)
+
+    def test_monotone_decreasing_beyond_3(self):
+        m = PowerLawThroughputModel(100, 240, -1.716)
+        ts = [m.throughput_mbps(b) for b in (3, 6, 12, 24, 32)]
+        assert ts == sorted(ts, reverse=True)
+
+    def test_clamped_to_band(self):
+        m = PowerLawThroughputModel(100, 240, -1.716)
+        assert m.throughput_mbps(0.1) == 240.0  # clamped at Cmax
+        assert m.throughput_mbps(1000.0) >= 100.0
+
+    def test_limits(self):
+        m = PowerLawThroughputModel(100, 240, -2.0)
+        assert m.throughput_mbps(0.0) == 240.0
+        assert m.throughput_mbps(1e9) == pytest.approx(100.0)
+
+    def test_predict_seconds(self):
+        m = PowerLawThroughputModel(100, 240, -1.716)
+        # 1e6 float32 values at S(3)=240 MB/s -> 4e6 B / 240e6 B/s.
+        assert m.predict_seconds(10**6, 3.0) == pytest.approx(4e6 / 240e6)
+
+    def test_validation(self):
+        with pytest.raises(ModelingError):
+            PowerLawThroughputModel(0, 240, -1)
+        with pytest.raises(ModelingError):
+            PowerLawThroughputModel(250, 240, -1)
+        with pytest.raises(ModelingError):
+            PowerLawThroughputModel(100, 240, 1.0)
+        m = PowerLawThroughputModel(100, 240, -1)
+        with pytest.raises(ModelingError):
+            m.throughput_mbps(-1)
+        with pytest.raises(ModelingError):
+            m.predict_seconds(-1, 2.0)
+
+
+class TestFit:
+    def test_fit_recovers_ground_truth_shape(self):
+        """Fit against the stage cost model: errors should be small in the
+        operating band (this is the paper's Fig. 11 methodology)."""
+        truth = SZCostModel()  # Bebop
+        bit_rates = np.linspace(0.5, 16, 30)
+        throughputs = np.array([truth.throughput_mbps(b) for b in bit_rates])
+        fitted = PowerLawThroughputModel.fit(bit_rates, throughputs)
+        errs = fitted.relative_errors(bit_rates, throughputs)
+        assert float(np.median(errs)) < 0.10
+        assert fitted.cmin_mbps == pytest.approx(throughputs.min())
+        assert fitted.cmax_mbps == pytest.approx(throughputs.max())
+        assert fitted.a < 0
+
+    def test_fit_on_synthetic_power_law(self):
+        # The clamped tails make several `a` values near-equivalent, so
+        # assert on curve agreement rather than parameter identity.
+        gen = PowerLawThroughputModel(100, 240, -1.5)
+        b = np.linspace(3, 30, 40)
+        t = np.array([gen.throughput_mbps(x) for x in b])
+        fitted = PowerLawThroughputModel.fit(b, t)
+        assert float(np.max(fitted.relative_errors(b, t))) < 0.05
+
+    def test_fit_validation(self):
+        with pytest.raises(CalibrationError):
+            PowerLawThroughputModel.fit(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        with pytest.raises(CalibrationError):
+            PowerLawThroughputModel.fit(
+                np.array([1.0, 2.0, -3.0]), np.array([1.0, 2.0, 3.0])
+            )
+
+    def test_fit_flat_response(self):
+        b = np.array([1.0, 2.0, 3.0, 4.0])
+        t = np.full(4, 150.0)
+        m = PowerLawThroughputModel.fit(b, t)
+        assert m.throughput_mbps(2.0) == pytest.approx(150.0, rel=1e-2)
+
+
+class TestStableWriteModel:
+    def test_eq2(self):
+        m = StableWriteModel(cthr_bytes_per_s=100e6)
+        # B=2 bits, n=4e6 -> 1e6 bytes -> 0.01 s.
+        assert m.predict_seconds(4 * 10**6, 2.0) == pytest.approx(0.01)
+
+    def test_bytes_form_consistent(self):
+        m = StableWriteModel(50e6)
+        assert m.predict_seconds(10**6, 8.0) == pytest.approx(
+            m.predict_seconds_for_bytes(10**6)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelingError):
+            StableWriteModel(0)
+        m = StableWriteModel(1e6)
+        with pytest.raises(ModelingError):
+            m.predict_seconds(-1, 2)
+        with pytest.raises(ModelingError):
+            m.predict_seconds_for_bytes(-1)
+
+
+class TestRampWriteModel:
+    def test_saturating_shape(self):
+        m = RampWriteModel(wmax_bytes_per_s=100e6, s_half_bytes=1e6)
+        assert m.throughput(1e6) == pytest.approx(50e6)
+        assert m.throughput(99e6) > 0.95 * 100e6
+        assert m.throughput(1e4) < 2e6
+
+    def test_seconds(self):
+        m = RampWriteModel(100e6, 1e6)
+        assert m.seconds(1e6) == pytest.approx(1e6 / 50e6)
+        assert m.seconds(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ModelingError):
+            RampWriteModel(0, 1)
+        m = RampWriteModel(1e6, 1e5)
+        with pytest.raises(ModelingError):
+            m.throughput(-1)

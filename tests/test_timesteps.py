@@ -1,0 +1,63 @@
+"""Tests for the time-step snapshot series."""
+
+import numpy as np
+import pytest
+
+from repro.compression import SZCompressor
+from repro.data import NyxGenerator, TimestepSeries
+
+
+class TestTimestepSeries:
+    def test_length_and_iteration(self):
+        ts = TimestepSeries((16, 16, 16), n_steps=4, seed=0)
+        assert len(ts) == 4
+        gens = list(ts)
+        assert len(gens) == 4
+        assert all(isinstance(g, NyxGenerator) for g in gens)
+
+    def test_redshift_defaults_decrease(self):
+        ts = TimestepSeries((8, 8, 8), n_steps=5, seed=0)
+        assert ts.redshifts[0] > ts.redshifts[-1]
+        assert ts.redshifts[-1] == 0.0
+
+    def test_growth_increases_with_step(self):
+        ts = TimestepSeries((8, 8, 8), n_steps=5, seed=0)
+        growths = [ts.growth_factor(i) for i in range(5)]
+        assert growths == sorted(growths)
+
+    def test_custom_redshifts(self):
+        ts = TimestepSeries((8, 8, 8), n_steps=3, redshifts=[5.0, 2.0, 0.5])
+        assert ts.redshifts == (5.0, 2.0, 0.5)
+
+    def test_redshift_length_validation(self):
+        with pytest.raises(ValueError):
+            TimestepSeries((8, 8, 8), n_steps=3, redshifts=[1.0])
+
+    def test_step_bounds(self):
+        ts = TimestepSeries((8, 8, 8), n_steps=2)
+        with pytest.raises(IndexError):
+            ts.snapshot_generator(2)
+        with pytest.raises(ValueError):
+            TimestepSeries((8, 8, 8), n_steps=0)
+
+    def test_steps_are_correlated_not_identical(self):
+        """Frozen phases: consecutive steps evolve smoothly."""
+        ts = TimestepSeries((24, 24, 24), n_steps=3, seed=1)
+        f0 = ts.snapshot_generator(0).field("baryon_density")
+        f1 = ts.snapshot_generator(1).field("baryon_density")
+        assert not np.array_equal(f0, f1)
+        # Log-densities share phases -> strong correlation.
+        corr = np.corrcoef(np.log(f0).ravel(), np.log(f1).ravel())[0, 1]
+        assert corr > 0.8
+
+    def test_compressibility_drifts_slowly(self):
+        """Fig. 15 precondition: ratios change gradually across steps."""
+        ts = TimestepSeries((24, 24, 24), n_steps=4, seed=2)
+        ratios = []
+        for step in range(4):
+            g = ts.snapshot_generator(step)
+            f = g.field("baryon_density")
+            stream = SZCompressor(bound=g.error_bound("baryon_density"), mode="abs").compress(f)
+            ratios.append(f.nbytes / len(stream))
+        for a, b in zip(ratios[:-1], ratios[1:]):
+            assert 0.5 < b / a < 2.0

@@ -1,0 +1,80 @@
+"""Tests for the PHD5 inspection CLI."""
+
+import numpy as np
+import pytest
+
+from repro.compression import SZCompressor
+from repro.hdf5 import DatasetCreateProps, File
+from repro.hdf5.filters import FILTER_SZ
+from repro.tools.inspect import main
+
+from .conftest import make_smooth_field
+
+
+@pytest.fixture
+def sample_file(tmp_path):
+    path = str(tmp_path / "sample.phd5")
+    data = make_smooth_field((8, 8))
+    codec = SZCompressor(bound=1e-3, mode="abs")
+    stream = codec.compress(data)
+    with File(path, "w") as f:
+        grp = f.create_group("fields")
+        raw = grp.create_dataset("raw", shape=(8, 8))
+        raw.write(data)
+        dcpl = DatasetCreateProps(
+            chunks=(8, 8), filters=((FILTER_SZ, {"bound": 1e-3, "mode": "abs"}),)
+        )
+        dec = grp.create_dataset("dec", shape=(8, 8), layout="declared", dcpl=dcpl)
+        dec.declare_partitions([4096], [len(stream) + 8], regions=[[[0, 8], [0, 8]]])
+        dec.write_partition(0, stream)
+    return path, data
+
+
+class TestLs:
+    def test_tree_rendering(self, sample_file, capsys):
+        path, _ = sample_file
+        assert main(["ls", path]) == 0
+        out = capsys.readouterr().out
+        assert "fields/" in out
+        assert "raw" in out and "contiguous" in out
+        assert "dec" in out and "declared" in out
+        assert "sz" in out  # filter name shown
+
+
+class TestStat:
+    def test_accounting(self, sample_file, capsys):
+        path, data = sample_file
+        assert main(["stat", path]) == 0
+        out = capsys.readouterr().out
+        assert "/fields/raw" in out
+        assert "/fields/dec" in out
+        assert "TOTAL" in out
+        # Raw dataset stores exactly its logical bytes.
+        raw_line = next(l for l in out.splitlines() if "/fields/raw" in l)
+        assert str(data.nbytes) in raw_line
+
+
+class TestDump:
+    def test_dump_values(self, sample_file, capsys):
+        path, data = sample_file
+        assert main(["dump", path, "fields/raw", "--limit", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "shape=(8, 8)" in out
+        assert "min=" in out and "max=" in out
+
+    def test_dump_group_errors(self, sample_file, capsys):
+        path, _ = sample_file
+        assert main(["dump", path, "fields"]) == 2
+
+
+class TestParts:
+    def test_partition_table(self, sample_file, capsys):
+        path, _ = sample_file
+        assert main(["parts", path, "fields/dec"]) == 0
+        out = capsys.readouterr().out
+        assert "4096" in out  # offset column
+        assert "100" not in out or True  # table renders without error
+
+    def test_parts_on_contiguous_errors(self, sample_file):
+        path, _ = sample_file
+        assert main(["parts", path, "fields/raw"]) == 2

@@ -1,0 +1,110 @@
+"""Tests for workload construction and scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core.workload import (
+    FieldPartitionStats,
+    Workload,
+    build_workload,
+    scale_workload,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def nyx_wl():
+    return build_workload("nyx", nranks=8, shape=(48, 48, 48), seed=1)
+
+
+@pytest.fixture(scope="module")
+def vpic_wl():
+    return build_workload("vpic", nranks=4, n_particles=1 << 16, seed=2)
+
+
+class TestBuildWorkload:
+    def test_shape(self, nyx_wl):
+        assert nyx_wl.nranks == 8
+        assert nyx_wl.nfields == 6
+        assert len(nyx_wl.stats) == 6
+        assert all(len(row) == 8 for row in nyx_wl.stats)
+
+    def test_partitions_cover_snapshot(self, nyx_wl):
+        total_values = int(nyx_wl.matrix("n_values").sum())
+        assert total_values == 48**3 * 6
+
+    def test_compression_is_real(self, nyx_wl):
+        assert 1.5 < nyx_wl.overall_ratio < 40
+        assert 0 < nyx_wl.overall_bit_rate < 32
+
+    def test_prediction_accuracy(self, nyx_wl):
+        """Predicted sizes track actual sizes (the paper's >90% accuracy)."""
+        errs = [abs(s.prediction_error) for row in nyx_wl.stats for s in row]
+        assert float(np.median(errs)) < 0.15
+
+    def test_vpic_workload(self, vpic_wl):
+        assert vpic_wl.nfields == 8
+        assert vpic_wl.overall_ratio > 4
+
+    def test_bitrate_spread(self, nyx_wl):
+        """Fig. 1 precondition: partitions span a range of bit-rates."""
+        rates = nyx_wl.per_partition_bit_rates()
+        assert rates.max() / rates.min() > 1.5
+
+    def test_bound_scale_reduces_bitrate(self):
+        tight = build_workload("nyx", nranks=4, shape=(24, 24, 24), seed=3, bound_scale=0.1)
+        loose = build_workload("nyx", nranks=4, shape=(24, 24, 24), seed=3, bound_scale=10.0)
+        assert loose.overall_bit_rate < tight.overall_bit_rate
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            build_workload("hdf", nranks=2)
+        with pytest.raises(ConfigError):
+            build_workload("nyx", nranks=2, bound_scale=0)
+
+    def test_include_particles(self):
+        wl = build_workload("nyx", nranks=2, shape=(16, 16, 16), seed=4, include_particles=True)
+        assert wl.nfields == 9
+
+
+class TestScaleWorkload:
+    def test_rank_tiling(self, nyx_wl):
+        big = scale_workload(nyx_wl, nranks=64)
+        assert big.nranks == 64
+        # Bit-rate population preserved (tiling, not resampling).
+        assert big.overall_bit_rate == pytest.approx(nyx_wl.overall_bit_rate, rel=0.1)
+
+    def test_value_scaling_preserves_bitrates(self, nyx_wl):
+        big = scale_workload(nyx_wl, values_per_partition=64**3)
+        assert big.overall_bit_rate == pytest.approx(nyx_wl.overall_bit_rate, rel=0.01)
+        assert int(big.matrix("n_values")[0, 0]) == 64**3
+
+    def test_scaling_deterministic(self, nyx_wl):
+        a = scale_workload(nyx_wl, nranks=32, seed=5)
+        b = scale_workload(nyx_wl, nranks=32, seed=5)
+        assert np.array_equal(a.matrix("actual_nbytes"), b.matrix("actual_nbytes"))
+
+    def test_rank_labels_consistent(self, nyx_wl):
+        big = scale_workload(nyx_wl, nranks=16)
+        for row in big.stats:
+            assert [s.rank for s in row] == list(range(16))
+
+    def test_invalid_nranks(self, nyx_wl):
+        with pytest.raises(ConfigError):
+            scale_workload(nyx_wl, nranks=0)
+
+
+class TestStatsDataclass:
+    def test_derived_metrics(self):
+        s = FieldPartitionStats(
+            field="t", rank=0, n_values=1000, original_nbytes=4000,
+            actual_nbytes=250, predicted_nbytes=300, n_outliers=3, n_unique_symbols=17,
+        )
+        assert s.actual_bit_rate == pytest.approx(2.0)
+        assert s.predicted_bit_rate == pytest.approx(2.4)
+        assert s.prediction_error == pytest.approx(0.2)
+
+    def test_matrix_access(self, nyx_wl):
+        m = nyx_wl.matrix("actual_nbytes")
+        assert m.shape == (6, 8)
+        assert m.sum() == nyx_wl.actual_total

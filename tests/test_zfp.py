@@ -1,0 +1,85 @@
+"""Tests for the simplified fixed-rate ZFP stand-in."""
+
+import numpy as np
+import pytest
+
+from repro.compression import ZFPCompressor
+from repro.errors import CompressionError, CorruptStreamError
+
+from .conftest import make_smooth_field
+
+
+class TestFixedRate:
+    @pytest.mark.parametrize("rate", [4, 8, 16])
+    def test_stream_size_matches_prediction(self, rate):
+        data = make_smooth_field((17, 9, 5), dtype=np.float64)
+        codec = ZFPCompressor(rate=rate)
+        stream = codec.compress(data)
+        assert len(stream) == codec.expected_nbytes(data.shape)
+
+    def test_fixed_rate_means_data_independent_size(self):
+        codec = ZFPCompressor(rate=8)
+        a = make_smooth_field((16, 16), dtype=np.float64)
+        rng = np.random.default_rng(0)
+        b = rng.normal(0, 100, (16, 16))
+        assert len(codec.compress(a)) == len(codec.compress(b))
+
+    def test_higher_rate_lower_error(self):
+        data = make_smooth_field((16, 16, 16), dtype=np.float64)
+        errs = []
+        for rate in (4, 8, 16):
+            codec = ZFPCompressor(rate=rate)
+            recon = codec.decompress(codec.compress(data))
+            errs.append(float(np.abs(recon - data).max()))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_reasonable_accuracy_at_rate16(self):
+        data = make_smooth_field((16, 16), noise=0.0, dtype=np.float64)
+        codec = ZFPCompressor(rate=16)
+        recon = codec.decompress(codec.compress(data))
+        rng = float(data.max() - data.min())
+        assert np.abs(recon - data).max() < 0.01 * rng
+
+    @pytest.mark.parametrize("shape", [(5,), (6, 7), (4, 4, 4), (3, 5, 2, 6)])
+    def test_all_ranks_roundtrip_shapes(self, shape):
+        data = make_smooth_field(shape, dtype=np.float64)
+        codec = ZFPCompressor(rate=12)
+        recon = codec.decompress(codec.compress(data))
+        assert recon.shape == shape
+
+    def test_float32_dtype_preserved(self):
+        data = make_smooth_field((8, 8), dtype=np.float32)
+        codec = ZFPCompressor(rate=10)
+        recon = codec.decompress(codec.compress(data))
+        assert recon.dtype == np.float32
+
+    def test_constant_block_exact_scale_guard(self):
+        data = np.zeros((8, 8), dtype=np.float64)
+        codec = ZFPCompressor(rate=8)
+        recon = codec.decompress(codec.compress(data))
+        assert np.allclose(recon, 0.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [0, 31, -2])
+    def test_rate_range(self, rate):
+        with pytest.raises(CompressionError):
+            ZFPCompressor(rate=rate)
+
+    def test_rejects_int_data(self):
+        with pytest.raises(CompressionError):
+            ZFPCompressor().compress(np.arange(16).reshape(4, 4))
+
+    def test_rejects_rank5(self):
+        with pytest.raises(CompressionError):
+            ZFPCompressor().compress(np.zeros((2, 2, 2, 2, 2)))
+
+    def test_truncated_stream(self):
+        data = make_smooth_field((8, 8), dtype=np.float64)
+        stream = ZFPCompressor(rate=8).compress(data)
+        with pytest.raises(CorruptStreamError):
+            ZFPCompressor(rate=8).decompress(stream[: len(stream) - 10])
+
+    def test_bad_magic(self):
+        with pytest.raises(CorruptStreamError):
+            ZFPCompressor().decompress(b"NOPE" + b"\x00" * 32)
