@@ -5,6 +5,11 @@ ExperimentResult` whose rows are the series the corresponding paper figure
 plots.  Default parameters are scaled down (minutes, one machine); every
 function exposes the knobs to run closer to paper scale.
 
+Strategy dispatch goes through the registry in :mod:`repro.core.strategy`
+(``registered_strategies()`` / ``simulate_strategy(name, ...)``), so a
+newly registered strategy automatically appears in the breakdown, ratio
+sweep, and scaling figures without touching this module.
+
 See DESIGN.md §4 for the experiment-to-module index and EXPERIMENTS.md for
 recorded paper-vs-measured comparisons.
 """
@@ -20,6 +25,7 @@ from repro.bench.harness import ExperimentResult
 from repro.compression.sz import SZCompressor, parse_stream_info
 from repro.core.config import PipelineConfig, extra_space_for_weight
 from repro.core.scheduler import CompressionTask, optimize_order, queue_time
+from repro.core.strategy import registered_strategies
 from repro.core.workload import Workload, build_workload, scale_workload
 from repro.core.writers import SimResult, default_models, simulate_strategy
 from repro.data.fields import layered_field
@@ -474,7 +480,7 @@ def fig16_breakdown(
     wl = scale_workload(wl, nranks=nranks, values_per_partition=values_per_partition)
     results: dict[str, SimResult] = {}
     rows = []
-    for strat in ("nocomp", "filter", "overlap", "reorder"):
+    for strat in registered_strategies():
         res = simulate_strategy(strat, wl, machine)
         results[strat] = res
         rows.append(
@@ -542,7 +548,7 @@ def fig17_ratio_sweep(
             include_particles=(dataset == "nyx"),
         )
         wl = scale_workload(wl, nranks=nranks, values_per_partition=values_per_partition)
-        res = {s: simulate_strategy(s, wl, machine) for s in ("nocomp", "filter", "overlap", "reorder")}
+        res = {s: simulate_strategy(s, wl, machine) for s in registered_strategies()}
         rows.append(
             {
                 "bound_scale": float(scale),
@@ -591,7 +597,7 @@ def fig17_scaling(
     rows = []
     for nranks in scales:
         wl = scale_workload(wl_base, nranks=int(nranks), values_per_partition=values_per_partition)
-        res = {s: simulate_strategy(s, wl, machine) for s in ("nocomp", "filter", "overlap", "reorder")}
+        res = {s: simulate_strategy(s, wl, machine) for s in registered_strategies()}
         rows.append(
             {
                 "nranks": int(nranks),

@@ -7,10 +7,16 @@
 * :mod:`scheduler` — Algorithm 1, the O(n²) compression-order optimizer;
 * :mod:`overflow` — the overflow plan (second all-gather, end-of-file
   placement, Fig. 8);
-* :mod:`writers` — the four write strategies of Fig. 4 executing on the
+* :mod:`strategy` — the phase-based strategy engine: PredictPhase /
+  PlanPhase / CompressWritePhase / OverflowPhase composed into registered
+  :class:`~repro.core.strategy.WriteStrategy` objects (the
+  ``@register_strategy`` extension point);
+* :mod:`writers` — the SimDriver executing any registered strategy on the
   discrete-event simulator (timing at scale);
-* :mod:`pipeline` — the same strategies executing for real on thread ranks
-  against a PHD5 file (functional correctness);
+* :mod:`pipeline` — the RealDriver executing the same strategies for real
+  on thread ranks against a PHD5 file (functional correctness);
+* :mod:`session` — the TimestepSession streaming write loop (Fig. 15):
+  one persistent file, one group per step, warm-started predictions;
 * :mod:`workload` — workload construction: real compression of partitioned
   synthetic datasets, plus deterministic stat-pool scaling for rank counts
   beyond what pure Python can compress in reasonable time.
@@ -25,19 +31,35 @@ from repro.core.config import (
 from repro.core.offsets import OffsetTable, effective_extra_space
 from repro.core.overflow import OverflowPlan
 from repro.core.pipeline import (
+    RankWriteStats,
+    RealDriver,
     filter_write_pipeline,
     nocomp_write_pipeline,
     predictive_write_pipeline,
 )
 from repro.core.reader import parallel_read_pipeline, read_rank_partition
 from repro.core.scheduler import CompressionTask, optimize_order, queue_time
+from repro.core.session import StepResult, TimestepSession
+from repro.core.strategy import (
+    CompressWritePhase,
+    OverflowPhase,
+    PlanPhase,
+    PredictPhase,
+    WriteStrategy,
+    available_strategies,
+    field_index_map,
+    get_strategy,
+    register_strategy,
+    registered_strategies,
+)
 from repro.core.workload import (
     FieldPartitionStats,
     Workload,
     build_workload,
     scale_workload,
+    workload_from_arrays,
 )
-from repro.core.writers import SimResult, simulate_strategy
+from repro.core.writers import SimDriver, SimResult, simulate_strategy
 
 __all__ = [
     "PipelineConfig",
@@ -50,15 +72,31 @@ __all__ = [
     "CompressionTask",
     "optimize_order",
     "queue_time",
+    "WriteStrategy",
+    "PredictPhase",
+    "PlanPhase",
+    "CompressWritePhase",
+    "OverflowPhase",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+    "registered_strategies",
+    "field_index_map",
     "Workload",
     "FieldPartitionStats",
     "build_workload",
     "scale_workload",
+    "workload_from_arrays",
+    "SimDriver",
     "SimResult",
     "simulate_strategy",
+    "RealDriver",
+    "RankWriteStats",
     "predictive_write_pipeline",
     "filter_write_pipeline",
     "nocomp_write_pipeline",
+    "TimestepSession",
+    "StepResult",
     "parallel_read_pipeline",
     "read_rank_partition",
 ]

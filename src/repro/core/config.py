@@ -58,6 +58,10 @@ class PipelineConfig:
     lossless_estimator: str = "rle"
     #: async writer threads per rank group (real pipeline only).
     async_workers: int = 4
+    #: multiplier applied to the previous step's actual sizes when they are
+    #: reused as predictions in the streaming session (Fig. 15 consistency
+    #: means 1.0 is usually right; raise it for fast-drifting series).
+    warm_start_margin: float = 1.0
 
     def __post_init__(self) -> None:
         if not EXTRA_SPACE_MIN <= self.extra_space_ratio <= EXTRA_SPACE_MAX:
@@ -71,6 +75,8 @@ class PipelineConfig:
             raise ConfigError("slot_alignment must be positive")
         if self.async_workers <= 0:
             raise ConfigError("async_workers must be positive")
+        if self.warm_start_margin <= 0:
+            raise ConfigError("warm_start_margin must be positive")
 
     @classmethod
     def from_weight(cls, performance_weight: float, **kwargs) -> "PipelineConfig":

@@ -1,39 +1,47 @@
-"""Real execution of the write strategies on thread ranks + a PHD5 file.
+"""RealDriver: executes registered write strategies on thread ranks + PHD5.
 
-These pipelines are the *functional* counterpart of
-:mod:`repro.core.writers`: the same phases, the same offset/overflow
-mathematics (literally the same ``OffsetTable``/``OverflowPlan`` code), but
+The *functional* counterpart of :class:`repro.core.writers.SimDriver`: the
+same :class:`~repro.core.strategy.WriteStrategy` phase objects (the same
+``OffsetTable``/``OverflowPlan`` math, the same Algorithm 1 ordering), but
 running real compression on real arrays, coordinating over a real
 communicator, and producing a real shared file that reads back within the
-error bounds.
+error bounds.  Sim-vs-real parity — identical per-rank predicted/actual/
+overflow byte counts — is what the shared phase definitions guarantee and
+what the strategy-engine tests assert.
 
-Every pipeline is an SPMD function: call it from each rank with that
-rank's communicator (usually via :func:`repro.mpi.executor.run_spmd`).
-Rank 0 creates the file objects; all ranks then operate on the shared
-handles (thread ranks share memory, as MPI ranks share the parallel file
-system).
+The driver is an SPMD function: call :meth:`RealDriver.run` from each rank
+with that rank's communicator (usually via
+:func:`repro.mpi.executor.run_spmd`).  Rank 0 creates the file objects;
+all ranks then operate on the shared handles (thread ranks share memory,
+as MPI ranks share the parallel file system).
+
+``predicted_hint`` / ``order_hint`` let a caller warm-start the predict
+and reorder phases from a previous time-step's measured sizes — the
+:class:`~repro.core.session.TimestepSession` streaming hot path.
+
+The legacy entry points (``predictive_write_pipeline``,
+``filter_write_pipeline``, ``nocomp_write_pipeline``) are thin wrappers
+resolving a registered strategy and delegating to the driver.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.compression.sz import SZCompressor
 from repro.core.config import PipelineConfig
-from repro.core.offsets import OffsetTable
-from repro.core.overflow import OverflowPlan
-from repro.core.scheduler import CompressionTask, optimize_order
+from repro.core.strategy import WriteStrategy, field_index_map, get_strategy, predict_phase_costs
 from repro.core.writers import default_models
-from repro.errors import ConfigError
+from repro.errors import ConfigError, OverflowHandlingError
 from repro.hdf5.async_io import EventSet
 from repro.hdf5.dataset import Dataset
 from repro.hdf5.file import File
 from repro.hdf5.filters import FILTER_SZ
 from repro.hdf5.properties import DatasetCreateProps
 from repro.hdf5.vol import AsyncVOL, NativeVOL
-from repro.modeling.ratio_model import RatioQualityModel
 from repro.mpi.comm import RankComm
 
 #: Data region base: past the container header, aligned.
@@ -64,15 +72,16 @@ class RankWriteStats:
 def _field_datasets(
     comm: RankComm,
     file: File,
-    fields: dict[str, np.ndarray],
+    fields: Mapping[str, np.ndarray],
     global_shape: tuple[int, ...],
-    codecs: dict[str, SZCompressor],
+    codecs: Mapping[str, SZCompressor],
     layout: str,
+    group: str = "fields",
 ) -> dict[str, Dataset]:
     """Rank 0 creates one dataset per field; everyone resolves them."""
     names = list(fields)
     if comm.rank == 0:
-        grp = file.require_group("fields")
+        grp = file.require_group(group)
         for name in names:
             codec = codecs[name]
             dcpl = DatasetCreateProps(
@@ -91,198 +100,318 @@ def _field_datasets(
             grp.create_dataset(name, shape=global_shape, dtype=np.float32,
                                layout=layout, dcpl=dcpl)
     comm.barrier()
-    return {name: file[f"fields/{name}"] for name in names}
+    return {name: file[f"{group}/{name}"] for name in names}
 
+
+def _shared_base_offset(watermarks: Sequence[int], base_offset: int | None) -> int:
+    """Deterministic data-region base every rank derives identically.
+
+    Fresh files land at the fixed 4096 header gap; a persistent streaming
+    file (one group per time-step) starts each step's region past the
+    all-gathered high-water mark, page-aligned.
+    """
+    if base_offset is not None:
+        return int(base_offset)
+    high = max(int(w) for w in watermarks)
+    return max(_BASE_OFFSET, -(-high // _BASE_OFFSET) * _BASE_OFFSET)
+
+
+class RealDriver:
+    """Executes a :class:`~repro.core.strategy.WriteStrategy` for real on
+    thread ranks against a shared PHD5 file (the functional world)."""
+
+    def __init__(
+        self,
+        strategy: str | WriteStrategy = "reorder",
+        config: PipelineConfig | None = None,
+        machine_name: str = "bebop",
+    ) -> None:
+        self.strategy = (
+            strategy if isinstance(strategy, WriteStrategy) else get_strategy(strategy)
+        )
+        self.strategy.validate()
+        self.config = config or PipelineConfig()
+        self.machine_name = machine_name
+
+    def run(
+        self,
+        comm: RankComm,
+        file: File,
+        fields: Mapping[str, np.ndarray],
+        region: list[list[int]],
+        global_shape: tuple[int, ...],
+        codecs: Mapping[str, SZCompressor] | None = None,
+        *,
+        group: str = "fields",
+        base_offset: int | None = None,
+        predicted_hint: Mapping[str, int] | None = None,
+        order_hint: Sequence[str] | None = None,
+    ) -> RankWriteStats:
+        """Run this rank's share of the strategy.
+
+        Parameters
+        ----------
+        fields:
+            This rank's partition of every field (same local shape).
+        region:
+            ``[[start, stop], ...]`` of this rank's block in the global grid.
+        codecs:
+            Per-field configured compressors (shared across ranks); only
+            required by compressing strategies.
+        group:
+            Group path the field datasets live under (nested paths are
+            created on demand — per-time-step groups use ``steps/NNNN``).
+        base_offset:
+            Explicit data-region base; default derives a shared base from
+            the all-gathered storage watermark.
+        predicted_hint / order_hint:
+            Warm-start values for the predict/reorder phases (streaming).
+        """
+        strat = self.strategy
+        if not strat.compress_write.compress:
+            return self._run_raw(comm, file, fields, region, global_shape, group)
+        if codecs is None:
+            raise ConfigError(f"strategy {strat.name!r} requires per-field codecs")
+        if strat.plan is not None and strat.plan.source == "actual":
+            return self._run_postplanned(
+                comm, file, fields, region, global_shape, codecs, group, base_offset
+            )
+        return self._run_predictive(
+            comm, file, fields, region, global_shape, codecs,
+            group, base_offset, predicted_hint, order_hint,
+        )
+
+    # -- predictive path (predict → plan → overlap → overflow) ---------------
+
+    def _run_predictive(
+        self, comm, file, fields, region, global_shape, codecs,
+        group, base_offset, predicted_hint, order_hint,
+    ) -> RankWriteStats:
+        strat, config = self.strategy, self.config
+        names = list(fields)
+        index = field_index_map(names)
+        datasets = _field_datasets(comm, file, fields, global_shape, codecs,
+                                   "declared", group)
+
+        # Phase 1: predict sizes (sampling — or warm-start hints).
+        predicted = strat.predict.predict_sizes(fields, codecs, config,
+                                                hints=predicted_hint)
+
+        # Phase 2: one all-gather; every rank computes the same offset table.
+        gathered = comm.allgather(
+            {
+                "predicted": [predicted[n] for n in names],
+                "original": [int(fields[n].nbytes) for n in names],
+                "region": region,
+                "watermark": int(file.storage.end_of_data),
+            }
+        )
+        pred_matrix = np.array([[g["predicted"][f] for g in gathered] for f in range(len(names))])
+        orig_matrix = np.array([[g["original"][f] for g in gathered] for f in range(len(names))])
+        regions = [g["region"] for g in gathered]
+        base = _shared_base_offset([g["watermark"] for g in gathered], base_offset)
+        table = strat.plan.compute_table(pred_matrix, orig_matrix, config, base)
+        for f, name in enumerate(names):
+            datasets[name].declare_partitions(
+                offsets=table.offsets[f].tolist(),
+                reserved=table.reserved[f].tolist(),
+                regions=regions,
+            )
+
+        # Phase 3: optimize the compression order from predicted times.
+        if order_hint is not None:
+            if sorted(order_hint) != sorted(names):
+                raise ConfigError("order hint is not a permutation of the fields")
+            order = list(order_hint)
+        elif strat.compress_write.reorder and config.reorder:
+            tmodel, wmodel = default_models(self.machine_name, comm.size)
+            compress_s, write_s = predict_phase_costs(
+                tmodel, wmodel,
+                [fields[n].size for n in names],
+                [predicted[n] for n in names],
+            )
+            order = strat.compress_write.field_order(names, compress_s, write_s)
+        else:
+            order = list(names)
+
+        # Phase 4: compress in order; with overlap each write is queued on
+        # the async VOL as soon as its field is compressed, otherwise each
+        # write blocks in place (synchronous independent writes).
+        overlapped = strat.compress_write.overlap
+        es = EventSet() if overlapped else None
+        vol = AsyncVOL(file.async_engine, event_set=es) if overlapped else NativeVOL()
+        actual: dict[str, int] = {}
+        tails: dict[str, bytes] = {}
+        for name in order:
+            stream = codecs[name].compress(fields[name])
+            actual[name] = len(stream)
+            reserved = int(table.reserved[index[name], comm.rank])
+            vol.partition_write(datasets[name], comm.rank, stream)
+            if len(stream) > reserved:
+                tails[name] = stream[reserved:]
+        if es is not None:
+            es.wait_all(60.0)
+
+        overflow: dict[str, int] = {n: 0 for n in names}
+        if not strat.overflow.enabled:
+            # No repair phase: a strategy that disables overflow handling
+            # must never produce truncated slots.
+            if tails:
+                raise OverflowHandlingError(
+                    f"strategy {strat.name!r} disables overflow handling but "
+                    f"rank {comm.rank} overflowed {sorted(tails)}"
+                )
+            comm.barrier()
+            return RankWriteStats(
+                rank=comm.rank,
+                predicted_nbytes=predicted,
+                actual_nbytes=actual,
+                overflow_nbytes=overflow,
+                order=order,
+            )
+
+        # Phase 5: second all-gather, overflow plan, independent tail writes.
+        actual_gathered = comm.allgather([actual[n] for n in names])
+        actual_matrix = np.array([[g[f] for g in actual_gathered] for f in range(len(names))])
+        plan = strat.overflow.compute_plan(actual_matrix, table.reserved, table.data_end)
+        es2 = EventSet()
+        vol2 = AsyncVOL(file.async_engine, event_set=es2)
+        for name, tail in tails.items():
+            off, nbytes = plan.tail(index[name], comm.rank)
+            assert nbytes == len(tail)
+            vol2.overflow_write(datasets[name], comm.rank, tail, off)
+            overflow[name] = nbytes
+        es2.wait_all(60.0)
+        comm.barrier()
+        return RankWriteStats(
+            rank=comm.rank,
+            predicted_nbytes=predicted,
+            actual_nbytes=actual,
+            overflow_nbytes=overflow,
+            order=order,
+        )
+
+    # -- post-planned path (compress → plan from actual → collective) --------
+
+    def _run_postplanned(
+        self, comm, file, fields, region, global_shape, codecs, group, base_offset
+    ) -> RankWriteStats:
+        strat = self.strategy
+        names = list(fields)
+        datasets = _field_datasets(comm, file, fields, global_shape, codecs,
+                                   "declared", group)
+        streams = {name: codecs[name].compress(fields[name]) for name in names}
+        actual = {name: len(streams[name]) for name in names}
+        gathered = comm.allgather(
+            {
+                "actual": [actual[n] for n in names],
+                "original": [int(fields[n].nbytes) for n in names],
+                "region": region,
+                "watermark": int(file.storage.end_of_data),
+            }
+        )
+        actual_matrix = np.array([[g["actual"][f] for g in gathered] for f in range(len(names))])
+        orig_matrix = np.array([[g["original"][f] for g in gathered] for f in range(len(names))])
+        regions = [g["region"] for g in gathered]
+        base = _shared_base_offset([g["watermark"] for g in gathered], base_offset)
+        table = strat.plan.compute_table(actual_matrix, orig_matrix, self.config, base)
+        vol = NativeVOL()
+        for f, name in enumerate(names):
+            datasets[name].declare_partitions(
+                offsets=table.offsets[f].tolist(),
+                reserved=table.reserved[f].tolist(),
+                regions=regions,
+            )
+            leftover = vol.partition_write(datasets[name], comm.rank, streams[name])
+            assert leftover == 0  # exact sizes: nothing can overflow
+        comm.barrier()  # collective semantics: everyone leaves together
+        return RankWriteStats(
+            rank=comm.rank,
+            predicted_nbytes=dict(actual),
+            actual_nbytes=actual,
+            overflow_nbytes={n: 0 for n in names},
+            order=names,
+        )
+
+    # -- raw path (no compression) -------------------------------------------
+
+    def _run_raw(
+        self, comm, file, fields, region, global_shape, group
+    ) -> RankWriteStats:
+        names = list(fields)
+        if comm.rank == 0:
+            grp = file.require_group(group)
+            for name in names:
+                grp.create_dataset(name, shape=global_shape, dtype=np.float32)
+        comm.barrier()
+        overlapped = self.strategy.compress_write.overlap
+        es = EventSet() if overlapped else None
+        vol = AsyncVOL(file.async_engine, event_set=es) if overlapped else NativeVOL()
+        row_start = int(region[0][0])
+        for name in names:
+            ds = file[f"{group}/{name}"]
+            start = (row_start,) + (0,) * (len(global_shape) - 1)
+            vol.slab_write(ds, fields[name], start)
+        if es is not None:
+            es.wait_all(60.0)
+        comm.barrier()
+        sizes = {n: int(fields[n].nbytes) for n in names}
+        return RankWriteStats(
+            rank=comm.rank,
+            predicted_nbytes=sizes,
+            actual_nbytes=sizes,
+            overflow_nbytes={n: 0 for n in names},
+            order=names,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Legacy entry points (kept for API stability; no phase math of their own)
+# ---------------------------------------------------------------------------
 
 def predictive_write_pipeline(
     comm: RankComm,
     file: File,
-    fields: dict[str, np.ndarray],
+    fields: Mapping[str, np.ndarray],
     region: list[list[int]],
     global_shape: tuple[int, ...],
-    codecs: dict[str, SZCompressor],
+    codecs: Mapping[str, SZCompressor],
     config: PipelineConfig | None = None,
     machine_name: str = "bebop",
 ) -> RankWriteStats:
     """The paper's solution: predictive offsets + overlap (+ reordering).
 
-    Parameters
-    ----------
-    fields:
-        This rank's partition of every field (same local shape).
-    region:
-        ``[[start, stop], ...]`` of this rank's block in the global grid.
-    codecs:
-        Per-field configured compressors (shared across ranks).
+    Resolves the registered ``reorder`` strategy (or ``overlap`` when the
+    config disables Algorithm 1) and runs it through the real driver.
     """
     config = config or PipelineConfig()
-    names = list(fields)
-    datasets = _field_datasets(comm, file, fields, global_shape, codecs, "declared")
-
-    # Phase 1: predict sizes (sampling; no compression yet).
-    predicted: dict[str, int] = {}
-    for name in names:
-        model = RatioQualityModel(
-            codecs[name],
-            fraction=config.sample_fraction,
-            lossless_estimator=config.lossless_estimator,
-        )
-        predicted[name] = model.predict(fields[name]).predicted_nbytes
-
-    # Phase 2: one all-gather; every rank computes the same offset table.
-    gathered = comm.allgather(
-        {
-            "predicted": [predicted[n] for n in names],
-            "original": [int(fields[n].nbytes) for n in names],
-            "region": region,
-        }
-    )
-    pred_matrix = np.array([[g["predicted"][f] for g in gathered] for f in range(len(names))])
-    orig_matrix = np.array([[g["original"][f] for g in gathered] for f in range(len(names))])
-    regions = [g["region"] for g in gathered]
-    table = OffsetTable.compute(
-        pred_matrix, orig_matrix, config.extra_space_ratio,
-        base_offset=_BASE_OFFSET, alignment=config.slot_alignment,
-    )
-    for f, name in enumerate(names):
-        datasets[name].declare_partitions(
-            offsets=table.offsets[f].tolist(),
-            reserved=table.reserved[f].tolist(),
-            regions=regions,
-        )
-
-    # Phase 3: optimize the compression order from predicted times.
-    order = names
-    if config.reorder:
-        tmodel, wmodel = default_models(machine_name, comm.size)
-        tasks = [
-            CompressionTask(
-                field=name,
-                predicted_compress_seconds=tmodel.predict_seconds(
-                    fields[name].size, 8.0 * predicted[name] / fields[name].size
-                ),
-                predicted_write_seconds=wmodel.predict_seconds_for_bytes(predicted[name]),
-            )
-            for name in names
-        ]
-        order = [t.field for t in optimize_order(tasks)]
-
-    # Phase 4: compress in order, writes overlapped via the async VOL.
-    es = EventSet()
-    vol = AsyncVOL(file.async_engine, event_set=es)
-    actual: dict[str, int] = {}
-    tails: dict[str, bytes] = {}
-    for name in order:
-        stream = codecs[name].compress(fields[name])
-        actual[name] = len(stream)
-        f = names.index(name)
-        reserved = int(table.reserved[f, comm.rank])
-        vol.partition_write(datasets[name], comm.rank, stream)
-        if len(stream) > reserved:
-            tails[name] = stream[reserved:]
-    es.wait_all(60.0)
-
-    # Phase 5: second all-gather, overflow plan, independent tail writes.
-    actual_gathered = comm.allgather([actual[n] for n in names])
-    actual_matrix = np.array([[g[f] for g in actual_gathered] for f in range(len(names))])
-    plan = OverflowPlan.compute(actual_matrix, table.reserved, table.data_end)
-    es2 = EventSet()
-    vol2 = AsyncVOL(file.async_engine, event_set=es2)
-    overflow: dict[str, int] = {n: 0 for n in names}
-    for name, tail in tails.items():
-        f = names.index(name)
-        off, nbytes = plan.tail(f, comm.rank)
-        assert nbytes == len(tail)
-        vol2.overflow_write(datasets[name], comm.rank, tail, off)
-        overflow[name] = nbytes
-    es2.wait_all(60.0)
-    comm.barrier()
-    return RankWriteStats(
-        rank=comm.rank,
-        predicted_nbytes=predicted,
-        actual_nbytes=actual,
-        overflow_nbytes=overflow,
-        order=order,
-    )
+    name = "reorder" if config.reorder else "overlap"
+    driver = RealDriver(name, config=config, machine_name=machine_name)
+    return driver.run(comm, file, fields, region, global_shape, codecs)
 
 
 def filter_write_pipeline(
     comm: RankComm,
     file: File,
-    fields: dict[str, np.ndarray],
+    fields: Mapping[str, np.ndarray],
     region: list[list[int]],
     global_shape: tuple[int, ...],
-    codecs: dict[str, SZCompressor],
+    codecs: Mapping[str, SZCompressor],
 ) -> RankWriteStats:
-    """The H5Z-SZ baseline: compress everything, then a synchronized write.
-
-    No prediction, no extra space: offsets come from the *actual* sizes
-    after a post-compression all-gather, and writes happen collectively
-    (modelled here as barrier-synchronized writes after global agreement).
-    """
-    names = list(fields)
-    datasets = _field_datasets(comm, file, fields, global_shape, codecs, "declared")
-    streams = {name: codecs[name].compress(fields[name]) for name in names}
-    actual = {name: len(streams[name]) for name in names}
-    gathered = comm.allgather(
-        {
-            "actual": [actual[n] for n in names],
-            "original": [int(fields[n].nbytes) for n in names],
-            "region": region,
-        }
-    )
-    actual_matrix = np.array([[g["actual"][f] for g in gathered] for f in range(len(names))])
-    orig_matrix = np.array([[g["original"][f] for g in gathered] for f in range(len(names))])
-    regions = [g["region"] for g in gathered]
-    table = OffsetTable.compute(
-        actual_matrix, orig_matrix, rspace=1.0, base_offset=_BASE_OFFSET, alignment=8,
-    )
-    vol = NativeVOL()
-    for f, name in enumerate(names):
-        datasets[name].declare_partitions(
-            offsets=table.offsets[f].tolist(),
-            reserved=table.reserved[f].tolist(),
-            regions=regions,
-        )
-        leftover = vol.partition_write(datasets[name], comm.rank, streams[name])
-        assert leftover == 0  # exact sizes: nothing can overflow
-    comm.barrier()  # collective semantics: everyone leaves together
-    return RankWriteStats(
-        rank=comm.rank,
-        predicted_nbytes=dict(actual),
-        actual_nbytes=actual,
-        overflow_nbytes={n: 0 for n in names},
-        order=names,
-    )
+    """The H5Z-SZ baseline: compress everything, then a synchronized write."""
+    return RealDriver("filter").run(comm, file, fields, region, global_shape, codecs)
 
 
 def nocomp_write_pipeline(
     comm: RankComm,
     file: File,
-    fields: dict[str, np.ndarray],
+    fields: Mapping[str, np.ndarray],
     row_start: int,
     global_shape: tuple[int, ...],
 ) -> RankWriteStats:
     """The non-compression baseline: independent raw slab writes."""
-    names = list(fields)
-    if comm.rank == 0:
-        grp = file.require_group("fields")
-        for name in names:
-            grp.create_dataset(name, shape=global_shape, dtype=np.float32)
-    comm.barrier()
-    es = EventSet()
-    vol = AsyncVOL(file.async_engine, event_set=es)
-    for name in names:
-        ds = file[f"fields/{name}"]
-        start = (row_start,) + (0,) * (len(global_shape) - 1)
-        vol.slab_write(ds, fields[name], start)
-    es.wait_all(60.0)
-    comm.barrier()
-    sizes = {n: int(fields[n].nbytes) for n in names}
-    return RankWriteStats(
-        rank=comm.rank,
-        predicted_nbytes=sizes,
-        actual_nbytes=sizes,
-        overflow_nbytes={n: 0 for n in names},
-        order=names,
-    )
+    nrows = next(iter(fields.values())).shape[0] if fields else 0
+    region = [[int(row_start), int(row_start) + int(nrows)]] + [
+        [0, int(s)] for s in global_shape[1:]
+    ]
+    return RealDriver("nocomp").run(comm, file, fields, region, global_shape, None)

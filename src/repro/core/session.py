@@ -1,0 +1,238 @@
+"""Streaming time-step sessions: the paper's Fig. 15 scenario as an API.
+
+Simulations dump one snapshot per time-step into the same run directory;
+Fig. 15 shows the predictive scheme's overheads stay consistent across
+steps because adjacent snapshots compress almost identically.  A
+:class:`TimestepSession` turns that observation into a hot path: it keeps
+one PHD5 file open across an entire
+:class:`~repro.data.timesteps.TimestepSeries`, writes every step into its
+own ``steps/NNNN`` group through the strategy engine's
+:class:`~repro.core.pipeline.RealDriver`, and **warm-starts** each step's
+predict and reorder phases from the previous step's *measured* sizes —
+skipping the sampling-based ratio model and the Algorithm 1 search after
+the first step, the two per-step planning costs that do not shrink with
+data size.
+
+The warm-started predictions feed the same
+:class:`~repro.core.offsets.OffsetTable` extra-space math as cold
+predictions, so the overflow safety net is unchanged: if a step drifts
+more than the extra space absorbs, tails land in that step's overflow
+region and the file still reads back exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.sz import SZCompressor
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RankWriteStats, RealDriver
+from repro.core.strategy import WriteStrategy
+from repro.data.partition import grid_partition, slab_partition
+from repro.data.timesteps import TimestepSeries
+from repro.errors import ConfigError, InvalidStateError
+from repro.hdf5.file import File
+from repro.hdf5.properties import FileAccessProps
+from repro.mpi.executor import run_spmd
+
+
+def step_group(step: int) -> str:
+    """Canonical group path of one time-step (``steps/0007``)."""
+    return f"steps/{step:04d}"
+
+
+@dataclass
+class StepResult:
+    """Outcome of streaming one time-step into the session file."""
+
+    step: int
+    group: str
+    warm_started: bool
+    seconds: float
+    stats: list[RankWriteStats] = field(repr=False)
+
+    @property
+    def predicted_nbytes(self) -> int:
+        """Predicted compressed bytes across all ranks and fields."""
+        return sum(sum(s.predicted_nbytes.values()) for s in self.stats)
+
+    @property
+    def actual_nbytes(self) -> int:
+        """Actual compressed bytes across all ranks and fields."""
+        return sum(s.total_actual for s in self.stats)
+
+    @property
+    def overflow_nbytes(self) -> int:
+        """Overflow-tail bytes across all ranks and fields."""
+        return sum(s.total_overflow for s in self.stats)
+
+    @property
+    def prediction_error(self) -> float:
+        """Signed relative size-prediction error for the whole step."""
+        return (self.predicted_nbytes - self.actual_nbytes) / self.actual_nbytes
+
+
+class TimestepSession:
+    """Persistent-file streaming writes over a :class:`TimestepSeries`.
+
+    Parameters
+    ----------
+    path:
+        The PHD5 file the whole series streams into (created on open).
+    series:
+        The time-evolving snapshot series to write, one group per step.
+    nranks:
+        Thread ranks per step (the SPMD width).
+    strategy:
+        Registered strategy name (or instance) executed per step.
+    config:
+        Pipeline configuration; ``warm_start_margin`` scales the reused
+        sizes when the series drifts quickly.
+    bound_scale:
+        Multiplier on every field's generator error bound.
+    field_names:
+        Subset of fields to stream (default: all of the series').
+    warm_start:
+        Reuse step *t−1*'s actual sizes and field order at step *t*
+        (predictive strategies only); ``False`` re-plans every step.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        series: TimestepSeries,
+        nranks: int = 4,
+        *,
+        strategy: str | WriteStrategy = "reorder",
+        config: PipelineConfig | None = None,
+        bound_scale: float = 1.0,
+        field_names: list[str] | None = None,
+        machine_name: str = "bebop",
+        warm_start: bool = True,
+    ) -> None:
+        if nranks <= 0:
+            raise ConfigError("nranks must be positive")
+        self.series = series
+        self.nranks = int(nranks)
+        self.config = config or PipelineConfig()
+        self.driver = RealDriver(strategy, config=self.config, machine_name=machine_name)
+        self.warm_start = warm_start
+        gen0 = series.snapshot_generator(0)
+        self.field_names = list(field_names or gen0.field_names)
+        unknown = set(self.field_names) - set(gen0.field_names)
+        if unknown:
+            raise ConfigError(f"unknown fields {sorted(unknown)}")
+        self.codecs = {
+            name: SZCompressor(bound=gen0.error_bound(name) * bound_scale, mode="abs")
+            for name in self.field_names
+        }
+        # Raw (non-compressing) writes need row-slab regions; compressed
+        # partitions can be arbitrary grid blocks.
+        if self.driver.strategy.compresses:
+            self.partitions = grid_partition(series.shape, self.nranks)
+        else:
+            self.partitions = slab_partition(series.shape, self.nranks)
+        self.file = File(
+            path, "w",
+            fapl=FileAccessProps(async_io=True, async_workers=self.config.async_workers),
+        )
+        self.results: list[StepResult] = []
+        self._next_step = 0
+        # Warm-start state: per-field per-rank actual sizes and per-rank
+        # field orders from the previous step.
+        self._prev_actual: list[dict[str, int]] | None = None
+        self._prev_orders: list[list[str]] | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush the footer and close the session file (idempotent)."""
+        self.file.close()
+
+    def __enter__(self) -> "TimestepSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @property
+    def steps_written(self) -> int:
+        """Number of steps streamed so far."""
+        return self._next_step
+
+    # -- streaming -----------------------------------------------------------
+
+    def write_step(self, step: int | None = None) -> StepResult:
+        """Stream one snapshot into its own group of the session file.
+
+        Steps must be written in order (the warm-start state is a chain);
+        ``step`` defaults to the next unwritten step.
+        """
+        if step is None:
+            step = self._next_step
+        if step != self._next_step:
+            raise InvalidStateError(
+                f"steps stream in order: expected {self._next_step}, got {step}"
+            )
+        if step >= len(self.series):
+            raise InvalidStateError(f"series has only {len(self.series)} steps")
+        gen = self.series.snapshot_generator(step)
+        names = self.field_names
+        payload = []
+        for p in self.partitions:
+            local = {n: np.ascontiguousarray(p.extract(gen.field(n))) for n in names}
+            region = [[s.start, s.stop] for s in p.slices]
+            payload.append((local, region))
+        warm = (
+            self.warm_start
+            and self.driver.strategy.predictive
+            and self.driver.strategy.predict.enabled
+            and self._prev_actual is not None
+        )
+        group = step_group(step)
+        margin = self.config.warm_start_margin
+
+        def rank_fn(comm):
+            local, region = payload[comm.rank]
+            hint = None
+            order_hint = None
+            if warm:
+                hint = {
+                    n: max(1, int(round(self._prev_actual[comm.rank][n] * margin)))
+                    for n in names
+                }
+                order_hint = self._prev_orders[comm.rank]
+            return self.driver.run(
+                comm, self.file, local, region, self.series.shape, self.codecs,
+                group=group, predicted_hint=hint, order_hint=order_hint,
+            )
+
+        t0 = time.perf_counter()
+        stats = run_spmd(self.nranks, rank_fn)
+        seconds = time.perf_counter() - t0
+        self._prev_actual = [dict(s.actual_nbytes) for s in stats]
+        self._prev_orders = [list(s.order) for s in stats]
+        self._next_step = step + 1
+        result = StepResult(
+            step=step, group=group, warm_started=warm, seconds=seconds, stats=stats
+        )
+        self.results.append(result)
+        return result
+
+    def write_all(self) -> list[StepResult]:
+        """Stream every remaining step; returns the per-step results."""
+        while self._next_step < len(self.series):
+            self.write_step()
+        return list(self.results)
+
+    # -- read-back -----------------------------------------------------------
+
+    def read_step(self, step: int, field_names: list[str] | None = None) -> dict[str, np.ndarray]:
+        """Reassemble one written step's fields from the session file."""
+        if not 0 <= step < self._next_step:
+            raise InvalidStateError(f"step {step} not written yet")
+        names = field_names or self.field_names
+        return {n: self.file[f"{step_group(step)}/{n}"].read() for n in names}

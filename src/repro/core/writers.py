@@ -1,13 +1,11 @@
-"""The four write strategies of paper Fig. 4, executing on the simulator.
+"""SimDriver: executes registered write strategies on the simulator.
 
-1. ``nocomp``  — independent write, no compression (baseline 1);
-2. ``filter``  — compress everything, all-gather actual sizes, collective
-   write (the H5Z-SZ baseline, baseline 2);
-3. ``overlap`` — predict → all-gather predicted sizes → pre-computed
-   offsets with extra space → compress field-by-field with asynchronous
-   independent writes overlapped → overflow phase;
-4. ``reorder`` — ``overlap`` plus Algorithm 1 compression-order
-   optimization.
+The strategies themselves — which phases run, how offsets are planned,
+whether writes overlap, whether Algorithm 1 reorders — are defined once in
+:mod:`repro.core.strategy` and shared with the real thread-rank driver in
+:mod:`repro.core.pipeline`.  This module contributes only the *timing*
+execution: cost-model compression times, simulated file-system writes, and
+the synchronization structure of each phase.
 
 Timing semantics encoded here (and measured by the paper):
 
@@ -22,7 +20,8 @@ Timing semantics encoded here (and measured by the paper):
 
 Storage semantics: slots hold ``min(actual, reserved)`` bytes; tails land
 in the overflow region.  ``SimResult`` carries both the paper's Fig. 16
-breakdown and the Fig. 14 storage-overhead quantities.
+breakdown and the Fig. 14 storage-overhead quantities, plus the offset
+table / overflow plan so sim-vs-real parity is directly checkable.
 """
 
 from __future__ import annotations
@@ -35,19 +34,24 @@ import numpy as np
 from repro.core.config import PipelineConfig
 from repro.core.offsets import OffsetTable
 from repro.core.overflow import OverflowPlan
-from repro.core.scheduler import CompressionTask, optimize_order
+from repro.core.strategy import (
+    WriteStrategy,
+    get_strategy,
+    predict_phase_costs,
+    registered_strategies,
+)
 from repro.core.workload import Workload
-from repro.errors import ConfigError
+from repro.errors import OverflowHandlingError
 from repro.modeling.calibration import calibrate_write_throughput
 from repro.modeling.throughput_model import PowerLawThroughputModel
 from repro.modeling.write_model import StableWriteModel
 from repro.sim.engine import Environment
-from repro.sim.filesystem import ParallelFileSystem
 from repro.sim.machine import MachineProfile, get_machine
 from repro.sim.resources import SimBarrier
 from repro.sim.trace import TraceRecorder
 
-STRATEGIES = ("nocomp", "filter", "overlap", "reorder")
+#: Paper-order tuple of the registered Fig. 4 strategies (back-compat).
+STRATEGIES = registered_strategies()
 
 #: Fixed base offset of the data region in the simulated shared file.
 _BASE_OFFSET = 4096
@@ -72,6 +76,9 @@ class SimResult:
     overflow_nbytes: int
     n_overflow_partitions: int
     trace: TraceRecorder
+    #: the predictive plan (None for the baselines) — for parity checks.
+    offset_table: OffsetTable | None = None
+    overflow_plan: OverflowPlan | None = None
 
     @property
     def write_seconds(self) -> float:
@@ -131,29 +138,53 @@ def default_models(
 
 
 def simulate_strategy(
-    strategy: str,
+    strategy: str | WriteStrategy,
     workload: Workload,
     machine: MachineProfile,
     config: PipelineConfig | None = None,
     models: tuple[PowerLawThroughputModel, StableWriteModel] | None = None,
     handle_overflow: bool = True,
 ) -> SimResult:
-    """Run one strategy over one workload on one machine profile.
+    """Run one registered strategy over one workload on one machine profile.
 
     ``handle_overflow=False`` silently grows any under-reserved slot to fit
     (the "write time without handling data overflow" reference the paper's
     Fig. 14 performance overhead is measured against).
     """
-    if strategy not in STRATEGIES:
-        raise ConfigError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
-    config = config or PipelineConfig()
-    if models is None:
-        models = default_models(machine, workload.nranks)
-    sim = _StrategySim(strategy, workload, machine, config, models, handle_overflow)
-    return sim.run()
+    return SimDriver(machine, models=models).run(
+        strategy, workload, config=config, handle_overflow=handle_overflow
+    )
 
 
-class _StrategySim:
+class SimDriver:
+    """Executes a :class:`~repro.core.strategy.WriteStrategy` on the
+    discrete-event simulator (the timing world)."""
+
+    def __init__(
+        self,
+        machine: MachineProfile,
+        models: tuple[PowerLawThroughputModel, StableWriteModel] | None = None,
+    ) -> None:
+        self.machine = machine
+        self.models = models
+
+    def run(
+        self,
+        strategy: str | WriteStrategy,
+        workload: Workload,
+        config: PipelineConfig | None = None,
+        handle_overflow: bool = True,
+    ) -> SimResult:
+        """Simulate one strategy over one workload; returns timing + storage."""
+        strat = strategy if isinstance(strategy, WriteStrategy) else get_strategy(strategy)
+        strat.validate()
+        models = self.models or default_models(self.machine, workload.nranks)
+        run = _SimRun(strat, workload, self.machine, config or PipelineConfig(),
+                      models, handle_overflow)
+        return run.execute()
+
+
+class _SimRun:
     """One simulation run (helper holding shared state)."""
 
     def __init__(self, strategy, workload, machine, config, models, handle_overflow):
@@ -174,6 +205,8 @@ class _StrategySim:
         self.outliers = self.w.matrix("n_outliers")
         self.unique = self.w.matrix("n_unique_symbols")
         self.t_primary_done = 0.0
+        # Matrix the predictive plan derives from (set per execution shape).
+        self.plan_sizes = self.predicted
         self.offset_table: OffsetTable | None = None
         self.overflow_plan: OverflowPlan | None = None
 
@@ -194,36 +227,30 @@ class _StrategySim:
         return total * self.config.sample_fraction * 1.2
 
     def _field_order(self, r: int) -> list[int]:
-        if self.strategy != "reorder":
+        cw = self.strategy.compress_write
+        if not cw.reorder:
             return list(range(self.w.nfields))
-        tasks = [
-            CompressionTask(
-                field=str(f),
-                predicted_compress_seconds=self.tmodel.predict_seconds(
-                    int(self.n_values[f, r]), 8.0 * self.predicted[f, r] / self.n_values[f, r]
-                ),
-                predicted_write_seconds=self.wmodel.predict_seconds_for_bytes(
-                    float(self.predicted[f, r])
-                ),
-            )
-            for f in range(self.w.nfields)
-        ]
-        return [int(t.field) for t in optimize_order(tasks)]
+        compress_s, write_s = predict_phase_costs(
+            self.tmodel, self.wmodel, self.n_values[:, r], self.plan_sizes[:, r]
+        )
+        names = [str(f) for f in range(self.w.nfields)]
+        return [int(name) for name in cw.field_order(names, compress_s, write_s)]
 
-    # -- strategies ------------------------------------------------------------
+    # -- execution shapes -----------------------------------------------------
 
-    def run(self) -> SimResult:
-        runner = {
-            "nocomp": self._run_nocomp,
-            "filter": self._run_filter,
-            "overlap": self._run_overlapped,
-            "reorder": self._run_overlapped,
-        }[self.strategy]
-        runner()
+    def execute(self) -> SimResult:
+        strat = self.strategy
+        if not strat.compress_write.compress:
+            self._run_raw()
+        elif strat.plan is not None and strat.plan.source == "actual":
+            self._run_postplanned()
+        else:
+            self._run_predictive()
         makespan = self.env.run()
         return self._result(makespan)
 
-    def _run_nocomp(self) -> None:
+    def _run_raw(self) -> None:
+        """No compression: independent raw writes, field by field."""
         env, fs, trace = self.env, self.fs, self.trace
 
         def rank_proc(r: int):
@@ -237,7 +264,9 @@ class _StrategySim:
             env.process(rank_proc(r))
         self.offset_table = None
 
-    def _run_filter(self) -> None:
+    def _run_postplanned(self) -> None:
+        """Plan-from-actual: compress everything, all-gather exact sizes,
+        then a barrier-synchronized collective write."""
         env, fs, trace = self.env, self.fs, self.trace
         nranks = self.w.nranks
         barrier = SimBarrier(env, nranks)
@@ -262,19 +291,29 @@ class _StrategySim:
         for r in range(nranks):
             env.process(rank_proc(r))
 
-    def _run_overlapped(self) -> None:
+    def _run_predictive(self) -> None:
+        """Predicted-offset plan: predict → all-gather → overlapped
+        compress/write → overflow repair."""
         env, fs, trace = self.env, self.fs, self.trace
         nranks, nfields = self.w.nranks, self.w.nfields
-        config = self.config
+        strat = self.strategy
+        # Size matrix the plan is built from: sampled predictions, or the
+        # raw partition sizes when the strategy skips the predict phase.
+        self.plan_sizes = self.predicted if strat.predict.enabled else self.original
         # Every rank computes the same table; do it once here.
-        table = OffsetTable.compute(
-            self.predicted, self.original, config.extra_space_ratio,
-            base_offset=_BASE_OFFSET, alignment=config.slot_alignment,
+        table = strat.plan.compute_table(
+            self.plan_sizes, self.original, self.config, _BASE_OFFSET
         )
         reserved = table.reserved.copy()
         if not self.handle_overflow:
             reserved = np.maximum(reserved, self.actual)
-        plan = OverflowPlan.compute(self.actual, reserved, table.data_end)
+        if not strat.overflow.enabled and np.any(self.actual > reserved):
+            raise OverflowHandlingError(
+                f"strategy {strat.name!r} disables overflow handling but "
+                f"{int(np.count_nonzero(self.actual > reserved))} partitions "
+                "exceed their reserved slots"
+            )
+        plan = strat.overflow.compute_plan(self.actual, reserved, table.data_end)
         self.offset_table = OffsetTable(
             offsets=table.offsets, reserved=reserved,
             data_end=table.data_end, base_offset=table.base_offset,
@@ -287,18 +326,23 @@ class _StrategySim:
         primary_done = env.event()
         done_count = {"n": 0}
 
+        overlap = strat.compress_write.overlap
+
         def rank_proc(r: int):
-            # Phase 1: prediction.
-            t0 = env.now
-            yield env.timeout(self._predict_seconds(r))
-            trace.add(r, "predict", t0, env.now)
+            # Phase 1: prediction (skipped when the strategy plans from
+            # raw sizes instead of sampled predictions).
+            if strat.predict.enabled:
+                t0 = env.now
+                yield env.timeout(self._predict_seconds(r))
+                trace.add(r, "predict", t0, env.now)
             # Phase 2: all-gather predicted sizes + offset computation.
             t0 = env.now
             yield barrier1.arrive()
             yield env.timeout(ag1 + 1e-7 * nfields * nfields)  # + Algorithm 1
             trace.add(r, "allgather", t0, env.now)
-            # Phase 3: compress in (possibly optimized) order; writes are
-            # issued asynchronously and drain in order on this rank's stream.
+            # Phase 3: compress in (possibly optimized) order; with overlap
+            # the writes are issued asynchronously and drain in order on
+            # this rank's stream, otherwise each write blocks in place.
             prev_write = None
             pending = []
             for f in self._field_order(r):
@@ -306,12 +350,21 @@ class _StrategySim:
                 yield env.timeout(self._compress_seconds(f, r))
                 trace.add(r, "compress", t0, env.now, label=self.w.fields[f])
                 nbytes = float(min(self.actual[f, r], reserved[f, r]))
-                prev_write = env.process(
-                    self._chained_write(r, f, nbytes, prev_write)
-                )
-                pending.append(prev_write)
+                if overlap:
+                    prev_write = env.process(
+                        self._chained_write(r, f, nbytes, prev_write)
+                    )
+                    pending.append(prev_write)
+                else:
+                    t0 = env.now
+                    yield fs.independent_write(nbytes)
+                    trace.add(r, "write", t0, env.now, label=self.w.fields[f],
+                              nbytes=int(nbytes))
             # Wait for this rank's writes to land.
-            yield env.all_of(pending)
+            if pending:
+                yield env.all_of(pending)
+            if not strat.overflow.enabled:
+                return
             # Phase 4: all-gather of overflow sizes.
             t0 = env.now
             yield barrier2.arrive()
@@ -332,7 +385,8 @@ class _StrategySim:
             yield primary_done
             self.t_primary_done = env.now
 
-        env.process(_watch_primary())
+        if strat.overflow.enabled:
+            env.process(_watch_primary())
         for r in range(nranks):
             env.process(rank_proc(r))
 
@@ -349,12 +403,13 @@ class _StrategySim:
 
     def _result(self, makespan: float) -> SimResult:
         trace = self.trace
-        if self.strategy == "nocomp":
+        strat = self.strategy
+        if not strat.compress_write.compress:
             ideal = self.w.original_total
             footprint = self.w.original_total
             overflow_bytes = 0
             n_over = 0
-        elif self.strategy == "filter":
+        elif strat.plan is not None and strat.plan.source == "actual":
             ideal = self.w.actual_total
             footprint = self.w.actual_total
             overflow_bytes = 0
@@ -374,7 +429,7 @@ class _StrategySim:
             else 0.0
         )
         return SimResult(
-            strategy=self.strategy,
+            strategy=strat.name,
             nranks=self.w.nranks,
             nfields=self.w.nfields,
             makespan_seconds=makespan,
@@ -389,4 +444,6 @@ class _StrategySim:
             overflow_nbytes=int(overflow_bytes),
             n_overflow_partitions=int(n_over),
             trace=trace,
+            offset_table=self.offset_table,
+            overflow_plan=self.overflow_plan,
         )

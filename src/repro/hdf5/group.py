@@ -54,7 +54,18 @@ class Group:
             return group
 
     def require_group(self, name: str) -> "Group":
-        """Get-or-create a sub-group."""
+        """Get-or-create a sub-group.
+
+        Accepts ``/``-separated paths, creating intermediate groups on
+        demand (``f.require_group("steps/0004/fields")`` — the per-time-step
+        layout the streaming session writes).
+        """
+        node = self
+        for part in [p for p in name.split("/") if p]:
+            node = node._require_child(part)
+        return node
+
+    def _require_child(self, name: str) -> "Group":
         with self._lock:
             existing = self._links.get(name)
         if existing is not None:

@@ -5,18 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-
-def make_smooth_field(shape=(24, 24, 24), noise=0.01, seed=0, dtype=np.float32):
-    """Band-limited smooth field plus mild noise (compresses like sim data)."""
-    rng = np.random.default_rng(seed)
-    axes = [np.linspace(0, 3 * np.pi, s) for s in shape]
-    f = np.ones(shape, dtype=np.float64)
-    for ax, grid in enumerate(axes):
-        expand = [None] * len(shape)
-        expand[ax] = slice(None)
-        f = f * np.sin(grid + ax)[tuple(expand)]
-    f += rng.normal(0.0, noise, shape)
-    return f.astype(dtype)
+from helpers import make_smooth_field
 
 
 @pytest.fixture

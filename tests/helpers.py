@@ -1,0 +1,24 @@
+"""Shared test helpers, importable from any test module.
+
+Kept separate from ``conftest.py`` on purpose: pytest loads conftest
+modules specially (outside the normal import system), so test modules must
+not import from them — ``from helpers import ...`` works because pytest
+puts each test file's directory on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_smooth_field(shape=(24, 24, 24), noise=0.01, seed=0, dtype=np.float32):
+    """Band-limited smooth field plus mild noise (compresses like sim data)."""
+    rng = np.random.default_rng(seed)
+    axes = [np.linspace(0, 3 * np.pi, s) for s in shape]
+    f = np.ones(shape, dtype=np.float64)
+    for ax, grid in enumerate(axes):
+        expand = [None] * len(shape)
+        expand[ax] = slice(None)
+        f = f * np.sin(grid + ax)[tuple(expand)]
+    f += rng.normal(0.0, noise, shape)
+    return f.astype(dtype)

@@ -12,7 +12,7 @@ from repro.modeling import (
 from repro.modeling.calibration import DEFAULT_CALIBRATION_BOUNDS, DEFAULT_WRITE_SIZES
 from repro.sim import BEBOP, SUMMIT
 
-from .conftest import make_smooth_field
+from helpers import make_smooth_field
 
 
 class TestMeasureCompressionPoints:

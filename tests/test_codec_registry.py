@@ -13,7 +13,7 @@ from repro.compression import (
 from repro.compression.metrics import CompressionResult
 from repro.errors import CompressionError
 
-from .conftest import make_smooth_field
+from helpers import make_smooth_field
 
 
 class TestRegistry:

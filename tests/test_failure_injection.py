@@ -15,7 +15,7 @@ from repro.hdf5 import AsyncVOL, DatasetCreateProps, EventSet, File, FileAccessP
 from repro.hdf5.filters import FILTER_SZ
 from repro.mpi import run_spmd
 
-from .conftest import make_smooth_field
+from helpers import make_smooth_field
 
 
 class TestAsyncFailurePropagation:

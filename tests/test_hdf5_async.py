@@ -18,7 +18,7 @@ from repro.hdf5 import (
 )
 from repro.hdf5.filters import FILTER_SZ
 
-from .conftest import make_smooth_field
+from helpers import make_smooth_field
 
 
 class TestAsyncIOEngine:

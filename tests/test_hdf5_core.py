@@ -14,7 +14,7 @@ from repro.hdf5 import DatasetCreateProps, File
 from repro.hdf5.datatype import dtype_from_tag, dtype_tag
 from repro.hdf5.storage import HEADER_SIZE, FileStorage
 
-from .conftest import make_smooth_field
+from helpers import make_smooth_field
 
 
 class TestDatatype:

@@ -16,7 +16,7 @@ from repro.hdf5 import (
     available_filters,
 )
 
-from .conftest import make_smooth_field
+from helpers import make_smooth_field
 
 
 class TestFilterPipeline:

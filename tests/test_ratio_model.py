@@ -8,7 +8,7 @@ from repro.data import NyxGenerator
 from repro.errors import ModelingError
 from repro.modeling import RatioQualityModel
 
-from .conftest import make_smooth_field
+from helpers import make_smooth_field
 
 
 class TestRatioPredictionAccuracy:

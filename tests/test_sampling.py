@@ -8,7 +8,7 @@ from repro.compression.quantizer import LinearQuantizer
 from repro.errors import ModelingError
 from repro.modeling.sampling import sample_partition_stats
 
-from .conftest import make_smooth_field
+from helpers import make_smooth_field
 
 
 class TestSamplePartitionStats:

@@ -1,0 +1,159 @@
+"""TimestepSession: persistent-file streaming with warm-started planning."""
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig
+from repro.core.session import TimestepSession, step_group
+from repro.data.timesteps import TimestepSeries
+from repro.errors import ConfigError, InvalidStateError
+from repro.hdf5 import File
+
+SHAPE = (16, 16, 16)
+NRANKS = 2
+FIELDS = ["baryon_density", "temperature"]
+N_STEPS = 4
+
+
+@pytest.fixture(scope="module")
+def written(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("session") / "series.phd5")
+    series = TimestepSeries(SHAPE, n_steps=N_STEPS, seed=5)
+    with TimestepSession(path, series, nranks=NRANKS, field_names=FIELDS) as sess:
+        results = sess.write_all()
+        arrays = {step: sess.read_step(step) for step in range(N_STEPS)}
+        codecs = dict(sess.codecs)
+    return path, series, results, arrays, codecs
+
+
+class TestStreaming:
+    def test_all_steps_written_to_one_file(self, written):
+        path, series, results, arrays, codecs = written
+        assert len(results) == N_STEPS >= 4
+        assert [r.step for r in results] == list(range(N_STEPS))
+        assert all(r.group == step_group(r.step) for r in results)
+
+    def test_warm_start_chain(self, written):
+        """Step 0 plans cold; every later step reuses step t-1's sizes."""
+        path, series, results, arrays, codecs = written
+        assert not results[0].warm_started
+        assert all(r.warm_started for r in results[1:])
+
+    def test_warm_predictions_are_previous_actuals(self, written):
+        path, series, results, arrays, codecs = written
+        for prev, cur in zip(results, results[1:]):
+            for s_prev, s_cur in zip(prev.stats, cur.stats):
+                assert s_cur.predicted_nbytes == s_prev.actual_nbytes
+
+    def test_warm_steps_skip_planning_work(self, written):
+        """The streaming hot path: warm steps skip the sampling-based
+        prediction pass, so they must not be slower than the cold step by
+        the prediction margin.  (Wall-clock comparisons are noisy in CI;
+        assert the structural claim via the prediction error instead —
+        warm predictions track the previous step within a few percent.)"""
+        path, series, results, arrays, codecs = written
+        for r in results[1:]:
+            assert abs(r.prediction_error) < 0.10
+
+    def test_every_step_reads_back_within_bounds(self, written):
+        path, series, results, arrays, codecs = written
+        for step in range(N_STEPS):
+            gen = series.snapshot_generator(step)
+            for name in FIELDS:
+                bound = codecs[name].quantizer.requested_bound
+                err = np.max(
+                    np.abs(arrays[step][name].astype(np.float64) - gen.field(name))
+                )
+                assert err <= bound * (1 + 1e-6), (step, name)
+
+    def test_file_persists_after_close(self, written):
+        path, series, results, arrays, codecs = written
+        with File(path, "r") as f:
+            for step in range(N_STEPS):
+                for name in FIELDS:
+                    out = f[f"{step_group(step)}/{name}"].read()
+                    assert np.array_equal(out, arrays[step][name]), (step, name)
+
+    def test_steps_get_disjoint_file_regions(self, written):
+        """Each step's partitions live past the previous step's data."""
+        path, series, results, arrays, codecs = written
+        with File(path, "r") as f:
+            prev_end = 0
+            for step in range(N_STEPS):
+                ds = f[f"{step_group(step)}/{FIELDS[0]}"]
+                offsets = [ds.partition(r).offset for r in range(NRANKS)]
+                assert min(offsets) >= prev_end
+                prev_end = max(
+                    ds.partition(r).offset + ds.partition(r).reserved
+                    for r in range(NRANKS)
+                )
+
+
+class TestSessionGuards:
+    def test_out_of_order_step_rejected(self, tmp_path):
+        series = TimestepSeries(SHAPE, n_steps=2, seed=6)
+        with TimestepSession(
+            str(tmp_path / "s.phd5"), series, nranks=NRANKS, field_names=FIELDS
+        ) as sess:
+            with pytest.raises(InvalidStateError):
+                sess.write_step(1)
+
+    def test_step_beyond_series_rejected(self, tmp_path):
+        series = TimestepSeries(SHAPE, n_steps=1, seed=6)
+        with TimestepSession(
+            str(tmp_path / "s.phd5"), series, nranks=NRANKS, field_names=FIELDS
+        ) as sess:
+            sess.write_step()
+            with pytest.raises(InvalidStateError):
+                sess.write_step()
+
+    def test_unknown_field_rejected(self, tmp_path):
+        series = TimestepSeries(SHAPE, n_steps=1, seed=6)
+        with pytest.raises(ConfigError):
+            TimestepSession(
+                str(tmp_path / "s.phd5"), series, field_names=["not_a_field"]
+            )
+
+    def test_read_unwritten_step_rejected(self, tmp_path):
+        series = TimestepSeries(SHAPE, n_steps=2, seed=6)
+        with TimestepSession(
+            str(tmp_path / "s.phd5"), series, nranks=NRANKS, field_names=FIELDS
+        ) as sess:
+            with pytest.raises(InvalidStateError):
+                sess.read_step(0)
+
+    def test_cold_replanning_when_warm_start_disabled(self, tmp_path):
+        series = TimestepSeries(SHAPE, n_steps=2, seed=7)
+        with TimestepSession(
+            str(tmp_path / "s.phd5"), series, nranks=NRANKS,
+            field_names=FIELDS, warm_start=False,
+        ) as sess:
+            results = sess.write_all()
+        assert not any(r.warm_started for r in results)
+
+    def test_nocomp_streaming_uses_slab_partitions(self, tmp_path):
+        """Raw writes need row-slab regions; a rank count that would grid-
+        split trailing dimensions must still stream losslessly."""
+        series = TimestepSeries(SHAPE, n_steps=2, seed=9)
+        with TimestepSession(
+            str(tmp_path / "s.phd5"), series, nranks=4,
+            field_names=["temperature"], strategy="nocomp",
+        ) as sess:
+            sess.write_all()
+            out = sess.read_step(1)["temperature"]
+        gen = series.snapshot_generator(1)
+        assert np.array_equal(out, gen.field("temperature"))
+
+    def test_warm_start_margin_scales_hints(self, tmp_path):
+        series = TimestepSeries(SHAPE, n_steps=2, seed=8)
+        config = PipelineConfig(warm_start_margin=1.2)
+        with TimestepSession(
+            str(tmp_path / "s.phd5"), series, nranks=NRANKS,
+            field_names=FIELDS, config=config,
+        ) as sess:
+            results = sess.write_all()
+        first, second = results
+        for s_prev, s_cur in zip(first.stats, second.stats):
+            for name in FIELDS:
+                expected = max(1, int(round(s_prev.actual_nbytes[name] * 1.2)))
+                assert s_cur.predicted_nbytes[name] == expected

@@ -9,7 +9,7 @@ from repro.compression import SZCompressor, parse_stream_info
 from repro.compression.sz import DEFAULT_RADIUS
 from repro.errors import CompressionError, CorruptStreamError
 
-from .conftest import make_smooth_field
+from helpers import make_smooth_field
 
 
 class TestRoundTrip:

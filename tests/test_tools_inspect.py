@@ -8,7 +8,7 @@ from repro.hdf5 import DatasetCreateProps, File
 from repro.hdf5.filters import FILTER_SZ
 from repro.tools.inspect import main
 
-from .conftest import make_smooth_field
+from helpers import make_smooth_field
 
 
 @pytest.fixture

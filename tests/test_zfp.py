@@ -6,7 +6,7 @@ import pytest
 from repro.compression import ZFPCompressor
 from repro.errors import CompressionError, CorruptStreamError
 
-from .conftest import make_smooth_field
+from helpers import make_smooth_field
 
 
 class TestFixedRate:
