@@ -7,7 +7,19 @@ prints the table the paper's figure corresponds to and asserts the *shape*
 claims (who wins, direction of trends), never absolute seconds.
 """
 
+import pathlib
+
 import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark is ``slow``: tier-1 (`-m "not slow"`) skips this
+    whole directory; the full/nightly CI job runs it."""
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture

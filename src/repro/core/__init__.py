@@ -16,11 +16,27 @@
 * :mod:`pipeline` — the RealDriver executing the same strategies for real
   on thread ranks against a PHD5 file (functional correctness);
 * :mod:`session` — the TimestepSession streaming write loop (Fig. 15):
-  one persistent file, one group per step, warm-started predictions;
+  one persistent file, one group per step, warm-started predictions, and
+  the ``strategy="auto"`` per-step re-tuning mode;
 * :mod:`workload` — workload construction: real compression of partitioned
   synthetic datasets, plus deterministic stat-pool scaling for rank counts
-  beyond what pure Python can compress in reasonable time.
+  beyond what pure Python can compress in reasonable time;
+* :mod:`autotune` — the AutoTuner: analytic per-strategy makespan
+  estimates (calibrated models + the shared phase objects) selecting the
+  best registered strategy per workload/time-step;
+* :mod:`scenarios` — deterministic named workload regimes (skew,
+  imbalance, drift, overflow stress, ...) consumed by the auto-tuner
+  tests, the parity matrix, and the ablation benchmarks.
 """
+
+from repro.core.autotune import (
+    AutoTuner,
+    StrategyEstimate,
+    TuningDecision,
+    choice_regret,
+    exhaustive_oracle,
+    measured_workload,
+)
 
 from repro.core.config import (
     EXTRA_SPACE_MAX,
@@ -38,6 +54,15 @@ from repro.core.pipeline import (
     predictive_write_pipeline,
 )
 from repro.core.reader import parallel_read_pipeline, read_rank_partition
+from repro.core.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioArrays,
+    ScenarioCase,
+    get_scenario,
+    scenario_matrix,
+    scenario_names,
+)
 from repro.core.scheduler import CompressionTask, optimize_order, queue_time
 from repro.core.session import StepResult, TimestepSession
 from repro.core.strategy import (
@@ -58,6 +83,7 @@ from repro.core.workload import (
     build_workload,
     scale_workload,
     workload_from_arrays,
+    workload_from_matrices,
 )
 from repro.core.writers import SimDriver, SimResult, simulate_strategy
 
@@ -87,6 +113,20 @@ __all__ = [
     "build_workload",
     "scale_workload",
     "workload_from_arrays",
+    "workload_from_matrices",
+    "AutoTuner",
+    "StrategyEstimate",
+    "TuningDecision",
+    "measured_workload",
+    "exhaustive_oracle",
+    "choice_regret",
+    "Scenario",
+    "ScenarioArrays",
+    "ScenarioCase",
+    "SCENARIOS",
+    "scenario_matrix",
+    "scenario_names",
+    "get_scenario",
     "SimDriver",
     "SimResult",
     "simulate_strategy",

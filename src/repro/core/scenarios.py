@@ -1,0 +1,355 @@
+"""Deterministic scenario generation: named workload regimes.
+
+The paper's four write strategies each win in a different regime — Fig. 10
+shows Algorithm 1's reordering benefit collapsing in unbalanced workloads,
+Fig. 14 shows the overflow safety net being exercised when predictions are
+weak, and the H5Z-SZ baseline's collective write amortizes per-operation
+latency that independent writes pay per field.  This module names those
+regimes as :class:`Scenario` objects and generates them deterministically,
+so the auto-tuner (:mod:`repro.core.autotune`), the parity tests, and the
+ablation benchmarks all sweep the *same* matrix of workloads.
+
+A scenario produces two things:
+
+* :meth:`Scenario.workload` — a synthetic :class:`~repro.core.workload.Workload`
+  (per-partition size/statistics matrices, no real compression), cheap
+  enough to generate at hundreds of ranks for the simulator and the
+  auto-tuner;
+* :meth:`Scenario.array_payload` — small *real* per-rank arrays whose
+  content expresses the regime (roughness ⇒ compressed size), for
+  sim-vs-real parity tests and streaming-session tests that need actual
+  bytes on disk.
+
+Everything is seeded: the same ``(scenario, seed, step)`` triple always
+yields the same workload, so test failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.compression.sz import SZCompressor
+from repro.core.workload import Workload, workload_from_matrices
+from repro.data.partition import slab_partition
+from repro.errors import ConfigError
+
+#: Bytes per value of the single-precision fields every regime models.
+_BYTES_PER_VALUE = 4
+
+#: Bit-rate clamp: SZ streams stay below the raw 32 bits/value.
+_MIN_BIT_RATE, _MAX_BIT_RATE = 0.1, 30.0
+
+
+def _scenario_rng(name: str, seed: int, step: int) -> np.random.Generator:
+    """Seeded generator: stable across processes (no salted ``hash``)."""
+    return np.random.default_rng([zlib.crc32(name.encode("utf-8")), seed, step])
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named workload regime, generated deterministically from a seed.
+
+    Parameters
+    ----------
+    name / description:
+        Registry identity and the regime it expresses.
+    nranks / nfields / values_per_partition:
+        Scale of the generated workload (simulator side).
+    bit_rate:
+        Mean actual compressed bits per value (2.0 is the paper's target;
+        near 30 means essentially incompressible data).
+    field_skew:
+        Log-normal σ of per-field size multipliers (field-size skew).
+    rank_skew:
+        Log-normal σ of per-rank multipliers (rank/domain imbalance).
+    bit_rate_spread:
+        Log-normal σ of per-partition bit-rate jitter.
+    prediction_bias / prediction_noise:
+        Mean signed relative error and σ of the size predictions; a
+        negative bias under-reserves slots and stresses the overflow path.
+    drift_per_step:
+        Relative bit-rate growth per time-step (compression-ratio drift
+        across a streaming series, the Fig. 15 axis).
+    array_shape / array_nranks / array_bound:
+        Scale of the small *real* arrays :meth:`array_payload` produces.
+    overflow_pressure:
+        Marks regimes meant to exercise the overflow repair path; the
+        parity tests pair this with a tight extra-space ratio.
+    """
+
+    name: str
+    description: str
+    nranks: int = 64
+    nfields: int = 6
+    #: 8M values (32 MiB raw) per partition puts the default regimes in the
+    #: paper's balanced compress-vs-write band (Fig. 16) instead of the
+    #: latency-dominated band, which a collective write always wins.
+    values_per_partition: int = 1 << 23
+    bit_rate: float = 2.0
+    field_skew: float = 0.0
+    rank_skew: float = 0.0
+    bit_rate_spread: float = 0.15
+    prediction_bias: float = 0.0
+    prediction_noise: float = 0.03
+    drift_per_step: float = 0.0
+    outlier_fraction: float = 0.002
+    array_shape: tuple[int, int, int] = (16, 12, 12)
+    array_nranks: int = 4
+    array_bound: float = 1e-3
+    overflow_pressure: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1 or self.nfields < 1 or self.values_per_partition < 1:
+            raise ConfigError("scenario scale parameters must be positive")
+        if not _MIN_BIT_RATE <= self.bit_rate <= _MAX_BIT_RATE:
+            raise ConfigError(f"bit_rate must be in [{_MIN_BIT_RATE}, {_MAX_BIT_RATE}]")
+        if self.prediction_bias <= -1.0:
+            raise ConfigError("prediction_bias must be > -1")
+
+    # -- synthetic workloads (simulator / auto-tuner side) -------------------
+
+    def workload(self, seed: int = 0, step: int = 0) -> Workload:
+        """Generate this regime's per-partition statistics matrices.
+
+        ``step`` applies the per-step compression-ratio drift, so a
+        streaming series is ``[sc.workload(seed, t) for t in range(T)]``.
+        """
+        rng = _scenario_rng(self.name, seed, step)
+        nf, nr = self.nfields, self.nranks
+        field_factor = np.exp(rng.normal(0.0, self.field_skew, size=nf))
+        rank_factor = np.exp(rng.normal(0.0, self.rank_skew, size=nr))
+        n_values = np.maximum(
+            1024,
+            np.round(
+                self.values_per_partition * np.outer(field_factor, rank_factor)
+            ).astype(np.int64),
+        )
+        drift = (1.0 + self.drift_per_step) ** step
+        bit_rates = np.clip(
+            self.bit_rate * drift * np.exp(rng.normal(0.0, self.bit_rate_spread, (nf, nr))),
+            _MIN_BIT_RATE,
+            _MAX_BIT_RATE,
+        )
+        original = n_values * _BYTES_PER_VALUE
+        actual = np.maximum(1, np.round(n_values * bit_rates / 8.0).astype(np.int64))
+        error = np.clip(
+            1.0 + self.prediction_bias + rng.normal(0.0, self.prediction_noise, (nf, nr)),
+            0.05,
+            None,
+        )
+        predicted = np.maximum(1, np.round(actual * error).astype(np.int64))
+        outliers = np.round(n_values * self.outlier_fraction).astype(np.int64)
+        return workload_from_matrices(
+            name=f"{self.name}/seed{seed}/step{step}",
+            fields=[f"f{f:02d}" for f in range(nf)],
+            n_values=n_values,
+            original_nbytes=original,
+            actual_nbytes=actual,
+            predicted_nbytes=predicted,
+            n_outliers=outliers,
+        )
+
+    def workloads(self, n_steps: int, seed: int = 0) -> list[Workload]:
+        """A drifting streaming series of ``n_steps`` workloads."""
+        return [self.workload(seed, step) for step in range(n_steps)]
+
+    # -- real arrays (parity / session side) ---------------------------------
+
+    def array_payload(self, seed: int = 0) -> "ScenarioArrays":
+        """Small real per-rank arrays whose *content* expresses the regime.
+
+        Compressed size tracks roughness, so field-size skew becomes
+        per-field noise-amplitude skew and rank imbalance becomes a
+        per-slab amplitude profile along axis 0.  The returned payload is
+        exactly what :meth:`repro.core.pipeline.RealDriver.run` consumes
+        (slab regions work for every registered strategy).
+        """
+        rng = _scenario_rng(self.name, seed, 1_000_003)
+        shape = self.array_shape
+        nranks = self.array_nranks
+        nfields = min(self.nfields, 8)
+        parts = slab_partition(shape, nranks)
+        # Noise amplitude relative to the error bound sets the bit-rate:
+        # amp ~ bound * 2^(B-1) quantizes to ~B bits/value.
+        base_amp = self.array_bound * 2.0 ** (min(self.bit_rate, 10.0) - 1.0)
+        field_amp = base_amp * np.exp(rng.normal(0.0, self.field_skew, size=nfields))
+        rank_amp = np.exp(rng.normal(0.0, self.rank_skew, size=nranks))
+        axes = [np.linspace(0.0, 2.0 * np.pi, s, endpoint=False) for s in shape]
+        grids = np.meshgrid(*axes, indexing="ij")
+        fields: dict[str, np.ndarray] = {}
+        for f in range(nfields):
+            phase = rng.uniform(0.0, 2.0 * np.pi, size=3)
+            freq = rng.integers(1, 4, size=3)
+            smooth = sum(
+                np.cos(freq[d] * grids[d] + phase[d]) for d in range(len(shape))
+            ) / len(shape)
+            noise = rng.normal(0.0, 1.0, size=shape)
+            for p in parts:
+                noise[p.slices] *= rank_amp[p.rank]
+            fields[f"f{f:02d}"] = (smooth + field_amp[f] * noise).astype(np.float32)
+        codecs = {
+            name: SZCompressor(bound=self.array_bound, mode="abs") for name in fields
+        }
+        payload = []
+        for p in parts:
+            local = {n: np.ascontiguousarray(p.extract(a)) for n, a in fields.items()}
+            region = [[s.start, s.stop] for s in p.slices]
+            payload.append((local, region))
+        return ScenarioArrays(
+            scenario=self, fields=fields, shape=shape, codecs=codecs, payload=payload
+        )
+
+    def scaled(self, **overrides) -> "Scenario":
+        """Copy of this scenario with some knobs overridden."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class ScenarioArrays:
+    """Real-array realization of one scenario (parity/session tests)."""
+
+    scenario: Scenario
+    #: global field arrays, name → array of :attr:`shape`.
+    fields: dict[str, np.ndarray] = field(repr=False)
+    shape: tuple[int, int, int]
+    codecs: dict[str, SZCompressor] = field(repr=False)
+    #: per-rank ``(local_fields, region)`` exactly as RealDriver.run takes.
+    payload: list = field(repr=False)
+
+    @property
+    def nranks(self) -> int:
+        """SPMD width of the payload."""
+        return len(self.payload)
+
+
+# ---------------------------------------------------------------------------
+# The named regime registry
+# ---------------------------------------------------------------------------
+
+SCENARIOS: tuple[Scenario, ...] = (
+    Scenario(
+        "balanced",
+        "many balanced fields with diverse write times at the paper's "
+        "target bit-rate 2 — the regime where overlap + reordering shine "
+        "(Fig. 16, Fig. 10 left)",
+        nfields=10,
+        bit_rate_spread=0.45,
+    ),
+    Scenario(
+        "field-size-skew",
+        "log-normal per-field size skew: a few heavy fields dominate, so "
+        "compression order matters most (Fig. 4 intuition)",
+        field_skew=1.0,
+        bit_rate_spread=0.35,
+    ),
+    Scenario(
+        "rank-imbalance",
+        "log-normal per-rank imbalance: stragglers gate every synchronized "
+        "phase and reordering benefit collapses (Fig. 10)",
+        rank_skew=0.8,
+    ),
+    Scenario(
+        "ratio-drift",
+        "compression ratio drifts step over step, stressing warm-started "
+        "predictions in streaming sessions (Fig. 15 axis)",
+        drift_per_step=0.12,
+        prediction_bias=-0.08,
+    ),
+    Scenario(
+        "overflow-stress",
+        "systematically under-predicted sizes: slots are too small and the "
+        "overflow repair phase carries real traffic (Fig. 8/14)",
+        prediction_bias=-0.35,
+        prediction_noise=0.10,
+        # Extreme-ratio arrays (huge bound): the regime where the sampling
+        # ratio model is weakest, so real predictions under-reserve too.
+        array_bound=5e-2,
+        overflow_pressure=True,
+    ),
+    Scenario(
+        "many-small-fields",
+        "dozens of tiny fields: per-operation write latency dominates, "
+        "which a single collective write amortizes",
+        nfields=24,
+        values_per_partition=1 << 16,
+        array_shape=(12, 8, 8),
+    ),
+    Scenario(
+        "few-large-fields",
+        "two huge fields: almost no ordering freedom, overlap does all the "
+        "work",
+        nfields=2,
+        values_per_partition=1 << 25,
+    ),
+    Scenario(
+        "incompressible",
+        "white-noise-like data near 30 bits/value: compression buys almost "
+        "nothing, baselines become competitive",
+        bit_rate=28.0,
+        bit_rate_spread=0.01,
+        prediction_noise=0.01,
+        array_bound=1e-4,
+    ),
+    Scenario(
+        "high-ratio",
+        "extremely smooth data (ratio ≫ 32): the Eq. (3) extra-space boost "
+        "regime where the ratio model is least accurate",
+        bit_rate=0.4,
+        prediction_noise=0.08,
+        array_bound=2e-2,
+    ),
+)
+
+_BY_NAME = {sc.name: sc for sc in SCENARIOS}
+
+
+def scenario_names() -> list[str]:
+    """Names of all registered scenarios, in presentation order."""
+    return [sc.name for sc in SCENARIOS]
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up one registered scenario by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ScenarioCase:
+    """One (scenario, seed) cell of the generated matrix."""
+
+    scenario: Scenario
+    seed: int
+    workload: Workload = field(repr=False)
+
+    @property
+    def label(self) -> str:
+        """Stable test-id label for this cell."""
+        return f"{self.scenario.name}-s{self.seed}"
+
+
+def scenario_matrix(
+    seeds: Sequence[int] = (0, 1, 2),
+    scenarios: Iterable[Scenario] | None = None,
+    **overrides,
+) -> list[ScenarioCase]:
+    """The full (scenario × seed) workload matrix every consumer sweeps.
+
+    ``overrides`` are applied to every scenario (e.g. ``nranks=16`` for a
+    cheaper test-sized matrix).
+    """
+    out = []
+    for sc in scenarios if scenarios is not None else SCENARIOS:
+        if overrides:
+            sc = sc.scaled(**overrides)
+        for seed in seeds:
+            out.append(ScenarioCase(scenario=sc, seed=seed, workload=sc.workload(seed)))
+    return out

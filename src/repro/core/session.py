@@ -18,6 +18,13 @@ The warm-started predictions feed the same
 predictions, so the overflow safety net is unchanged: if a step drifts
 more than the extra space absorbs, tails land in that step's overflow
 region and the file still reads back exactly.
+
+In ``strategy="auto"`` mode the session re-tunes the strategy itself every
+step: an :class:`~repro.core.autotune.AutoTuner` prices every registered
+strategy against the previous step's *measured* actual sizes and the next
+step executes the winner — so a series drifting from a balanced regime
+into, say, an incompressible or latency-dominated one switches write
+strategies mid-stream without caller involvement.
 """
 
 from __future__ import annotations
@@ -28,15 +35,20 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.compression.sz import SZCompressor
+from repro.core.autotune import AutoTuner, TuningDecision, measured_workload
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import RankWriteStats, RealDriver
-from repro.core.strategy import WriteStrategy
+from repro.core.strategy import PredictPhase, WriteStrategy
 from repro.data.partition import grid_partition, slab_partition
 from repro.data.timesteps import TimestepSeries
 from repro.errors import ConfigError, InvalidStateError
 from repro.hdf5.file import File
 from repro.hdf5.properties import FileAccessProps
 from repro.mpi.executor import run_spmd
+
+#: The strategy an ``"auto"`` session starts from before it has measured
+#: anything (the paper's full solution).
+AUTO_INITIAL_STRATEGY = "reorder"
 
 
 def step_group(step: int) -> str:
@@ -53,6 +65,11 @@ class StepResult:
     warm_started: bool
     seconds: float
     stats: list[RankWriteStats] = field(repr=False)
+    #: registered name of the strategy that executed this step.
+    strategy: str = "reorder"
+    #: in auto mode: the decision re-tuned from this step's measured
+    #: actuals (it governs the *next* step); None otherwise.
+    tuning: TuningDecision | None = field(default=None, repr=False)
 
     @property
     def predicted_nbytes(self) -> int:
@@ -87,7 +104,9 @@ class TimestepSession:
     nranks:
         Thread ranks per step (the SPMD width).
     strategy:
-        Registered strategy name (or instance) executed per step.
+        Registered strategy name (or instance) executed per step, or
+        ``"auto"`` to let an :class:`~repro.core.autotune.AutoTuner`
+        re-pick the strategy every step from measured actuals.
     config:
         Pipeline configuration; ``warm_start_margin`` scales the reused
         sizes when the series drifts quickly.
@@ -118,7 +137,19 @@ class TimestepSession:
         self.series = series
         self.nranks = int(nranks)
         self.config = config or PipelineConfig()
-        self.driver = RealDriver(strategy, config=self.config, machine_name=machine_name)
+        self.machine_name = machine_name
+        self.auto = isinstance(strategy, str) and strategy == "auto"
+        self._drivers: dict[str, RealDriver] = {}
+        if self.auto:
+            self.tuner: AutoTuner | None = AutoTuner(
+                machine=machine_name, config=self.config
+            )
+            self._current = AUTO_INITIAL_STRATEGY
+        else:
+            self.tuner = None
+            driver = RealDriver(strategy, config=self.config, machine_name=machine_name)
+            self._drivers[driver.strategy.name] = driver
+            self._current = driver.strategy.name
         self.warm_start = warm_start
         gen0 = series.snapshot_generator(0)
         self.field_names = list(field_names or gen0.field_names)
@@ -130,11 +161,10 @@ class TimestepSession:
             for name in self.field_names
         }
         # Raw (non-compressing) writes need row-slab regions; compressed
-        # partitions can be arbitrary grid blocks.
-        if self.driver.strategy.compresses:
-            self.partitions = grid_partition(series.shape, self.nranks)
-        else:
-            self.partitions = slab_partition(series.shape, self.nranks)
+        # partitions can be arbitrary grid blocks.  An auto session may
+        # alternate, so both decompositions are kept.
+        self._grid_partitions = grid_partition(series.shape, self.nranks)
+        self._slab_partitions = slab_partition(series.shape, self.nranks)
         self.file = File(
             path, "w",
             fapl=FileAccessProps(async_io=True, async_workers=self.config.async_workers),
@@ -142,9 +172,37 @@ class TimestepSession:
         self.results: list[StepResult] = []
         self._next_step = 0
         # Warm-start state: per-field per-rank actual sizes and per-rank
-        # field orders from the previous step.
+        # field orders from the most recent *compressing* step.
         self._prev_actual: list[dict[str, int]] | None = None
         self._prev_orders: list[list[str]] | None = None
+        # Most recent measurement the auto-tuner can re-tune from.
+        self._measured = None
+
+    # -- strategy resolution --------------------------------------------------
+
+    @property
+    def current_strategy(self) -> str:
+        """Name of the strategy the next step will execute."""
+        return self._current
+
+    @property
+    def driver(self) -> RealDriver:
+        """The driver executing the current strategy."""
+        return self._driver_for(self._current)
+
+    @property
+    def partitions(self):
+        """The domain decomposition the current strategy writes with."""
+        if self.driver.strategy.compresses:
+            return self._grid_partitions
+        return self._slab_partitions
+
+    def _driver_for(self, name: str) -> RealDriver:
+        if name not in self._drivers:
+            self._drivers[name] = RealDriver(
+                name, config=self.config, machine_name=self.machine_name
+            )
+        return self._drivers[name]
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -179,17 +237,19 @@ class TimestepSession:
             )
         if step >= len(self.series):
             raise InvalidStateError(f"series has only {len(self.series)} steps")
+        driver = self.driver
+        partitions = self.partitions
         gen = self.series.snapshot_generator(step)
         names = self.field_names
         payload = []
-        for p in self.partitions:
+        for p in partitions:
             local = {n: np.ascontiguousarray(p.extract(gen.field(n))) for n in names}
             region = [[s.start, s.stop] for s in p.slices]
             payload.append((local, region))
         warm = (
             self.warm_start
-            and self.driver.strategy.predictive
-            and self.driver.strategy.predict.enabled
+            and driver.strategy.predictive
+            and driver.strategy.predict.enabled
             and self._prev_actual is not None
         )
         group = step_group(step)
@@ -204,8 +264,9 @@ class TimestepSession:
                     n: max(1, int(round(self._prev_actual[comm.rank][n] * margin)))
                     for n in names
                 }
-                order_hint = self._prev_orders[comm.rank]
-            return self.driver.run(
+                if self._prev_orders is not None:
+                    order_hint = self._prev_orders[comm.rank]
+            return driver.run(
                 comm, self.file, local, region, self.series.shape, self.codecs,
                 group=group, predicted_hint=hint, order_hint=order_hint,
             )
@@ -213,14 +274,60 @@ class TimestepSession:
         t0 = time.perf_counter()
         stats = run_spmd(self.nranks, rank_fn)
         seconds = time.perf_counter() - t0
-        self._prev_actual = [dict(s.actual_nbytes) for s in stats]
-        self._prev_orders = [list(s.order) for s in stats]
+        if driver.strategy.compresses:
+            # Raw-write actuals are partition sizes, useless as compressed-
+            # size hints — only compressing steps refresh the warm state.
+            self._prev_actual = [dict(s.actual_nbytes) for s in stats]
+            # Only an Algorithm-1 step produces an optimized order worth
+            # reusing; seeding a later reorder step with another strategy's
+            # insertion order would silently disable the optimization.
+            self._prev_orders = (
+                [list(s.order) for s in stats]
+                if driver.strategy.compress_write.reorder
+                else None
+            )
+        tuning = self._retune(driver, partitions, payload, stats, step)
         self._next_step = step + 1
         result = StepResult(
-            step=step, group=group, warm_started=warm, seconds=seconds, stats=stats
+            step=step, group=group, warm_started=warm, seconds=seconds, stats=stats,
+            strategy=driver.strategy.name, tuning=tuning,
         )
         self.results.append(result)
         return result
+
+    def _retune(self, driver, partitions, payload, stats, step) -> TuningDecision | None:
+        """Auto mode: re-pick the next step's strategy from measured actuals."""
+        if not self.auto:
+            return None
+        if driver.strategy.compresses:
+            sizes = [s.actual_nbytes for s in stats]
+        else:
+            # A raw step measures no compressed sizes; probe them with the
+            # sampling predict phase so the tuner keeps observing
+            # compressibility — otherwise a session that once picked a raw
+            # strategy could never notice the series drifting back into a
+            # compressible regime.
+            probe = PredictPhase(enabled=True)
+            sizes = [
+                probe.predict_sizes(local, self.codecs, self.config)
+                for local, _ in payload
+            ]
+        self._measured = measured_workload(
+            self.field_names,
+            sizes,
+            [p.n_values for p in partitions],
+            margin=self.config.warm_start_margin,
+            name=f"step{step}",
+        )
+        # The next step warm-starts (skips the sampling pass) whenever
+        # compressed hints exist, so predictive candidates are priced
+        # without the prediction overhead in that case.
+        decision = self.tuner.evaluate(
+            self._measured,
+            warm_start=self.warm_start and self._prev_actual is not None,
+        )
+        self._current = decision.choice
+        return decision
 
     def write_all(self) -> list[StepResult]:
         """Stream every remaining step; returns the per-step results."""

@@ -16,6 +16,7 @@ substitution is documented in DESIGN.md §2.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -26,6 +27,7 @@ from repro.data.nyx import NyxGenerator
 from repro.data.partition import grid_partition, partition_particles
 from repro.data.vpic import VPICGenerator
 from repro.errors import ConfigError
+from repro.modeling.calibration import unique_symbols_estimate
 from repro.modeling.ratio_model import RatioQualityModel
 from repro.modeling.sampling import sample_partition_stats
 
@@ -234,6 +236,70 @@ def workload_from_arrays(
         nranks=len(per_rank_fields),
         fields=tuple(fields),
         stats=tuple(rows),
+    )
+
+
+def workload_from_matrices(
+    name: str,
+    fields: Sequence[str],
+    n_values: np.ndarray,
+    original_nbytes: np.ndarray,
+    actual_nbytes: np.ndarray,
+    predicted_nbytes: np.ndarray,
+    n_outliers: np.ndarray | None = None,
+    n_unique_symbols: np.ndarray | None = None,
+) -> Workload:
+    """Assemble a :class:`Workload` from explicit [nfields][nranks] matrices.
+
+    The stats-only counterpart of :func:`workload_from_arrays`, for
+    callers that already *know* (or synthesize) the per-partition sizes
+    instead of measuring them by compressing real data: the scenario
+    generator's named regimes, and the auto-tuner re-tuning from a
+    time-step's measured actuals.  ``n_outliers`` defaults to zero and
+    ``n_unique_symbols`` to the calibration heuristic at each partition's
+    actual bit-rate.
+    """
+    nv = np.asarray(n_values, dtype=np.int64)
+    orig = np.asarray(original_nbytes, dtype=np.int64)
+    act = np.asarray(actual_nbytes, dtype=np.int64)
+    pred = np.asarray(predicted_nbytes, dtype=np.int64)
+    if not (nv.shape == orig.shape == act.shape == pred.shape) or nv.ndim != 2:
+        raise ConfigError("matrices must share one [nfields][nranks] shape")
+    if nv.shape[0] != len(fields):
+        raise ConfigError(f"{len(fields)} field names for {nv.shape[0]} matrix rows")
+    if np.any(nv < 1) or np.any(orig < 1) or np.any(act < 1) or np.any(pred < 1):
+        raise ConfigError("all per-partition quantities must be >= 1")
+    outliers = (
+        np.zeros_like(nv) if n_outliers is None else np.asarray(n_outliers, dtype=np.int64)
+    )
+    if n_unique_symbols is None:
+        unique = np.empty_like(nv)
+        for f in range(nv.shape[0]):
+            for r in range(nv.shape[1]):
+                unique[f, r] = unique_symbols_estimate(
+                    int(nv[f, r]), 8.0 * act[f, r] / nv[f, r]
+                )
+    else:
+        unique = np.asarray(n_unique_symbols, dtype=np.int64)
+    rows = []
+    for f, fname in enumerate(fields):
+        rows.append(
+            tuple(
+                FieldPartitionStats(
+                    field=fname,
+                    rank=r,
+                    n_values=int(nv[f, r]),
+                    original_nbytes=int(orig[f, r]),
+                    actual_nbytes=int(act[f, r]),
+                    predicted_nbytes=int(pred[f, r]),
+                    n_outliers=int(outliers[f, r]),
+                    n_unique_symbols=int(unique[f, r]),
+                )
+                for r in range(nv.shape[1])
+            )
+        )
+    return Workload(
+        name=name, nranks=nv.shape[1], fields=tuple(fields), stats=tuple(rows)
     )
 
 

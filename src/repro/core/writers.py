@@ -56,6 +56,14 @@ STRATEGIES = registered_strategies()
 #: Fixed base offset of the data region in the simulated shared file.
 _BASE_OFFSET = 4096
 
+#: Prediction overhead relative to the sampled compression fraction
+#: (paper: the sampling pass costs slightly more than the fraction alone).
+PREDICT_OVERHEAD_FACTOR = 1.2
+
+#: Seconds per nfields² modeling the offset/Algorithm-1 computation every
+#: rank performs after the first all-gather.
+PLAN_SECONDS_PER_FIELD_SQ = 1e-7
+
 
 @dataclass(frozen=True)
 class SimResult:
@@ -224,7 +232,7 @@ class _SimRun:
         """Ratio/throughput prediction overhead: the sampled fraction of the
         compression pass (paper: <10% of compression time)."""
         total = sum(self._compress_seconds(f, r) for f in range(self.w.nfields))
-        return total * self.config.sample_fraction * 1.2
+        return total * self.config.sample_fraction * PREDICT_OVERHEAD_FACTOR
 
     def _field_order(self, r: int) -> list[int]:
         cw = self.strategy.compress_write
@@ -338,7 +346,7 @@ class _SimRun:
             # Phase 2: all-gather predicted sizes + offset computation.
             t0 = env.now
             yield barrier1.arrive()
-            yield env.timeout(ag1 + 1e-7 * nfields * nfields)  # + Algorithm 1
+            yield env.timeout(ag1 + PLAN_SECONDS_PER_FIELD_SQ * nfields * nfields)  # + Algorithm 1
             trace.add(r, "allgather", t0, env.now)
             # Phase 3: compress in (possibly optimized) order; with overlap
             # the writes are issued asynchronously and drain in order on

@@ -17,6 +17,7 @@ from repro.modeling.calibration import (
     calibrate_throughput_model,
     calibrate_write_throughput,
     measure_compression_points,
+    unique_symbols_estimate,
 )
 from repro.modeling.ratio_model import RatioPrediction, RatioQualityModel
 from repro.modeling.sampling import SampleStats, sample_partition_stats
@@ -34,4 +35,5 @@ __all__ = [
     "calibrate_throughput_model",
     "calibrate_write_throughput",
     "measure_compression_points",
+    "unique_symbols_estimate",
 ]

@@ -69,7 +69,7 @@ def measure_compression_points(
                 n_values=data.size,
                 bit_rate=info.bit_rate,
                 n_outliers=info.n_outliers,
-                n_unique_symbols=_unique_symbols_estimate(info.n_values, info.bit_rate),
+                n_unique_symbols=unique_symbols_estimate(info.n_values, info.bit_rate),
                 rng=rng,
             )
         bit_rates.append(info.bit_rate)
@@ -77,7 +77,7 @@ def measure_compression_points(
     return np.asarray(bit_rates), np.asarray(throughputs)
 
 
-def _unique_symbols_estimate(n_values: int, bit_rate: float) -> int:
+def unique_symbols_estimate(n_values: int, bit_rate: float) -> int:
     """Rough distinct-symbol count from the stream bit-rate.
 
     A centred quantization-code distribution with entropy ≈ bit-rate has on

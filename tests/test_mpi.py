@@ -40,6 +40,47 @@ class TestRunSpmd:
         with pytest.raises(RuntimeLayerError):
             run_spmd(0, lambda comm: None)
 
+    def test_non_rank0_failure_surfaces_lowest_rank_exception(self):
+        """When several non-rank-0 ranks fail, the lowest-rank exception
+        wins deterministically — and only after every thread has joined."""
+        import threading
+
+        release = threading.Event()
+
+        def fn(comm):
+            if comm.rank == 3:
+                raise KeyError("rank 3 failed")
+            if comm.rank == 1:
+                release.wait(5.0)  # fail *after* rank 3 already has
+                raise ValueError("rank 1 failed")
+            if comm.rank == 2:
+                release.set()
+                raise OSError("rank 2 failed")
+            return comm.rank
+
+        with pytest.raises(ValueError, match="rank 1 failed"):
+            run_spmd(4, fn, timeout=10.0)
+        # All threads joined: no leaked rank threads survive the call.
+        assert not [
+            t for t in threading.enumerate() if t.name.startswith("rank-") and t.is_alive()
+        ]
+
+    def test_broken_barrier_only_run_raises_runtime_layer_error(self):
+        """A run whose only failures are broken barriers (no root cause
+        exception to blame) must surface as RuntimeLayerError, chained to
+        one of the barrier breaks."""
+        import threading
+
+        def fn(comm):
+            if comm.rank == 0:
+                # The abort path without any non-barrier exception.
+                raise threading.BrokenBarrierError()
+            comm.barrier()  # peers observe the break
+
+        with pytest.raises(RuntimeLayerError, match="broken barrier") as excinfo:
+            run_spmd(3, fn, timeout=10.0)
+        assert isinstance(excinfo.value.__cause__, threading.BrokenBarrierError)
+
     def test_size_visible(self):
         out = run_spmd(5, lambda comm: comm.size)
         assert out == [5] * 5

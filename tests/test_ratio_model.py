@@ -74,13 +74,20 @@ class TestRatioPredictionAccuracy:
         codec = SZCompressor(bound=1e-3, mode="rel")
         model = RatioQualityModel(codec)
         model.predict(data)  # warm-up
-        t0 = time.perf_counter()
-        model.predict(data)
-        t_pred = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        codec.compress(data)
-        t_comp = time.perf_counter() - t0
+        # Best-of-3 de-noises scheduler/GC hiccups in the wall clocks.
+        t_pred = min(
+            self._timed(lambda: model.predict(data)) for _ in range(3)
+        )
+        t_comp = min(self._timed(lambda: codec.compress(data)) for _ in range(3))
         assert t_pred < 0.5 * t_comp  # generous CI margin over the 10% claim
+
+    @staticmethod
+    def _timed(fn):
+        import time
+
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
 
 
 class TestEstimatorVariants:

@@ -1,0 +1,174 @@
+"""Scenario generator: determinism, regime properties, matrix coverage."""
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig
+from repro.core.offsets import OffsetTable
+from repro.core.scenarios import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    scenario_matrix,
+    scenario_names,
+)
+from repro.core.workload import workload_from_matrices
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_named_regimes_present(self):
+        assert set(scenario_names()) >= {
+            "balanced",
+            "field-size-skew",
+            "rank-imbalance",
+            "ratio-drift",
+            "overflow-stress",
+            "many-small-fields",
+            "few-large-fields",
+        }
+
+    def test_get_scenario(self):
+        sc = get_scenario("balanced")
+        assert sc.name == "balanced"
+        with pytest.raises(ConfigError):
+            get_scenario("not-a-regime")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            Scenario("bad", "x", nfields=0)
+        with pytest.raises(ConfigError):
+            Scenario("bad", "x", bit_rate=64.0)
+        with pytest.raises(ConfigError):
+            Scenario("bad", "x", prediction_bias=-1.5)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_same_seed_same_workload(self, name):
+        sc = get_scenario(name)
+        a, b = sc.workload(seed=3), sc.workload(seed=3)
+        for attr in ("n_values", "original_nbytes", "actual_nbytes", "predicted_nbytes"):
+            assert np.array_equal(a.matrix(attr), b.matrix(attr)), attr
+
+    def test_different_seeds_differ(self):
+        sc = get_scenario("balanced")
+        a, b = sc.workload(seed=0), sc.workload(seed=1)
+        assert not np.array_equal(a.matrix("actual_nbytes"), b.matrix("actual_nbytes"))
+
+    def test_array_payload_deterministic(self):
+        sc = get_scenario("balanced").scaled(array_shape=(8, 6, 6), array_nranks=2)
+        a, b = sc.array_payload(seed=2), sc.array_payload(seed=2)
+        for name in a.fields:
+            assert np.array_equal(a.fields[name], b.fields[name])
+
+
+class TestRegimeProperties:
+    def test_field_size_skew_skews_fields(self):
+        wl = get_scenario("field-size-skew").workload(seed=0)
+        per_field = wl.matrix("actual_nbytes").sum(axis=1).astype(float)
+        assert per_field.max() / per_field.min() > 2.0
+        balanced = get_scenario("balanced").workload(seed=0)
+        bal = balanced.matrix("n_values").sum(axis=1).astype(float)
+        assert bal.max() / bal.min() < 1.2
+
+    def test_rank_imbalance_skews_ranks(self):
+        wl = get_scenario("rank-imbalance").workload(seed=0)
+        per_rank = wl.matrix("n_values").sum(axis=0).astype(float)
+        assert per_rank.max() / per_rank.min() > 2.0
+
+    def test_overflow_stress_overflows_default_slots(self):
+        wl = get_scenario("overflow-stress").workload(seed=0)
+        table = OffsetTable.compute(
+            wl.matrix("predicted_nbytes"),
+            wl.matrix("original_nbytes"),
+            PipelineConfig().extra_space_ratio,
+            base_offset=4096,
+        )
+        tails = np.maximum(wl.matrix("actual_nbytes") - table.reserved, 0)
+        # Systematic under-prediction: a large share of partitions overflow.
+        assert np.count_nonzero(tails) > 0.5 * tails.size
+
+    def test_balanced_rarely_overflows_default_slots(self):
+        wl = get_scenario("balanced").workload(seed=0)
+        table = OffsetTable.compute(
+            wl.matrix("predicted_nbytes"),
+            wl.matrix("original_nbytes"),
+            PipelineConfig().extra_space_ratio,
+            base_offset=4096,
+        )
+        tails = np.maximum(wl.matrix("actual_nbytes") - table.reserved, 0)
+        assert np.count_nonzero(tails) < 0.05 * tails.size
+
+    def test_ratio_drift_drifts_across_steps(self):
+        sc = get_scenario("ratio-drift")
+        series = sc.workloads(5, seed=0)
+        rates = [wl.overall_bit_rate for wl in series]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+        static = get_scenario("balanced").workloads(3, seed=0)
+        static_rates = [wl.overall_bit_rate for wl in static]
+        assert max(static_rates) / min(static_rates) < 1.1
+
+    def test_compressibility_extremes(self):
+        assert get_scenario("incompressible").workload(0).overall_ratio < 1.5
+        assert get_scenario("high-ratio").workload(0).overall_ratio > 32.0
+
+    def test_field_count_regimes(self):
+        assert get_scenario("many-small-fields").workload(0).nfields >= 20
+        assert get_scenario("few-large-fields").workload(0).nfields <= 3
+
+
+class TestScenarioMatrix:
+    def test_full_coverage_and_unique_labels(self):
+        cases = scenario_matrix(seeds=(0, 1))
+        assert len(cases) == 2 * len(SCENARIOS)
+        labels = [c.label for c in cases]
+        assert len(set(labels)) == len(labels)
+
+    def test_overrides_apply_to_every_cell(self):
+        cases = scenario_matrix(seeds=(0,), nranks=4)
+        assert all(c.workload.nranks == 4 for c in cases)
+
+
+class TestArrayPayload:
+    def test_payload_matches_real_driver_contract(self):
+        sc = get_scenario("balanced").scaled(array_shape=(8, 6, 6), array_nranks=2)
+        arrays = sc.array_payload(seed=0)
+        assert arrays.nranks == 2
+        total_rows = 0
+        for local, region in arrays.payload:
+            assert set(local) == set(arrays.fields)
+            assert len(region) == len(arrays.shape)
+            total_rows += region[0][1] - region[0][0]
+        assert total_rows == arrays.shape[0]
+
+    def test_field_skew_shows_up_in_compressed_sizes(self):
+        sc = get_scenario("field-size-skew").scaled(
+            array_shape=(8, 6, 6), array_nranks=2
+        )
+        arrays = sc.array_payload(seed=0)
+        sizes = [
+            len(arrays.codecs[n].compress(arrays.fields[n])) for n in arrays.fields
+        ]
+        assert max(sizes) / min(sizes) > 1.3
+
+
+class TestWorkloadFromMatrices:
+    def test_round_trip(self):
+        n = np.full((2, 3), 1000, dtype=np.int64)
+        wl = workload_from_matrices(
+            "t", ["a", "b"], n, n * 4, n // 2, n // 2 + 10
+        )
+        assert wl.nfields == 2 and wl.nranks == 3
+        assert np.array_equal(wl.matrix("n_values"), n)
+        assert wl.stats[0][0].field == "a"
+        assert wl.stats[0][0].n_unique_symbols >= 2
+
+    def test_validation(self):
+        n = np.full((2, 3), 1000, dtype=np.int64)
+        with pytest.raises(ConfigError):
+            workload_from_matrices("t", ["a"], n, n, n, n)  # name count
+        with pytest.raises(ConfigError):
+            workload_from_matrices("t", ["a", "b"], n, n, n * 0, n)  # zeros
+        with pytest.raises(ConfigError):
+            workload_from_matrices("t", ["a", "b"], n, n[:1], n, n)  # shapes

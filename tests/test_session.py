@@ -144,6 +144,122 @@ class TestSessionGuards:
         gen = series.snapshot_generator(1)
         assert np.array_equal(out, gen.field("temperature"))
 
+class TestAutoStrategy:
+    """strategy="auto": per-step re-tuning from measured actuals."""
+
+    @pytest.fixture(scope="class")
+    def auto_written(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("auto") / "series.phd5")
+        series = TimestepSeries(SHAPE, n_steps=3, seed=11)
+        with TimestepSession(
+            path, series, nranks=NRANKS, field_names=FIELDS, strategy="auto"
+        ) as sess:
+            results = sess.write_all()
+            arrays = {step: sess.read_step(step) for step in range(3)}
+            codecs = dict(sess.codecs)
+        return series, results, arrays, codecs
+
+    def test_first_step_runs_initial_strategy(self, auto_written):
+        from repro.core.session import AUTO_INITIAL_STRATEGY
+
+        series, results, arrays, codecs = auto_written
+        assert results[0].strategy == AUTO_INITIAL_STRATEGY
+
+    def test_each_step_executes_previous_decision(self, auto_written):
+        series, results, arrays, codecs = auto_written
+        for prev, cur in zip(results, results[1:]):
+            assert prev.tuning is not None
+            assert cur.strategy == prev.tuning.choice
+
+    def test_decision_covers_all_registered_strategies(self, auto_written):
+        series, results, arrays, codecs = auto_written
+        names = {e.strategy for e in results[0].tuning.estimates}
+        assert names >= {"nocomp", "filter", "overlap", "reorder"}
+
+    def test_auto_steps_read_back_within_bounds(self, auto_written):
+        series, results, arrays, codecs = auto_written
+        for step, res in enumerate(results):
+            gen = series.snapshot_generator(step)
+            for name in FIELDS:
+                bound = codecs[name].quantizer.requested_bound
+                err = np.max(
+                    np.abs(arrays[step][name].astype(np.float64) - gen.field(name))
+                )
+                assert err <= bound * (1 + 1e-6), (step, name, res.strategy)
+
+    def test_fixed_strategy_sessions_do_not_tune(self, written):
+        path, series, results, arrays, codecs = written
+        assert all(r.tuning is None for r in results)
+        assert all(r.strategy == "reorder" for r in results)
+
+    def test_current_strategy_tracks_decisions(self, tmp_path):
+        series = TimestepSeries(SHAPE, n_steps=2, seed=12)
+        with TimestepSession(
+            str(tmp_path / "s.phd5"), series, nranks=NRANKS,
+            field_names=FIELDS, strategy="auto",
+        ) as sess:
+            first = sess.current_strategy
+            res = sess.write_step()
+            assert res.strategy == first
+            assert sess.current_strategy == res.tuning.choice
+
+    def test_non_reordering_steps_do_not_seed_order_hints(self, tmp_path):
+        """A later reorder step must re-run Algorithm 1 rather than inherit
+        another strategy's insertion order as its warm-start order."""
+        series = TimestepSeries(SHAPE, n_steps=2, seed=14)
+        with TimestepSession(
+            str(tmp_path / "s.phd5"), series, nranks=NRANKS,
+            field_names=FIELDS, strategy="auto",
+        ) as sess:
+            sess._current = "filter"
+            sess.write_step()
+            assert sess._prev_actual is not None  # warm size hints kept
+            assert sess._prev_orders is None      # but no order hint
+            sess._current = "reorder"
+            res = sess.write_step()
+            assert res.warm_started
+        # The reorder step computed its own Algorithm 1 order from the
+        # warm predictions instead of copying filter's insertion order.
+        from repro.core import get_strategy
+        from repro.core.strategy import predict_phase_costs
+        from repro.core.writers import default_models
+
+        tmodel, wmodel = default_models("bebop", NRANKS)
+        strat = get_strategy("reorder")
+        for rank, s in enumerate(res.stats):
+            n_values = [
+                sess._grid_partitions[rank].n_values for _ in sess.field_names
+            ]
+            predicted = [s.predicted_nbytes[n] for n in sess.field_names]
+            compress_s, write_s = predict_phase_costs(
+                tmodel, wmodel, n_values, predicted
+            )
+            expected = strat.compress_write.field_order(
+                sess.field_names, compress_s, write_s
+            )
+            assert s.order == expected
+
+    def test_raw_steps_probe_compressibility_and_can_escape(self, tmp_path):
+        """A step executed with a non-compressing strategy still refreshes
+        the tuner's measurement (via the sampling ratio model), so the
+        session is never locked into nocomp by the absence of compressed
+        actuals."""
+        series = TimestepSeries(SHAPE, n_steps=2, seed=13)
+        with TimestepSession(
+            str(tmp_path / "s.phd5"), series, nranks=NRANKS,
+            field_names=FIELDS, strategy="auto",
+        ) as sess:
+            sess._current = "nocomp"  # force a raw first step
+            res = sess.write_step()
+            assert res.strategy == "nocomp"
+            assert res.tuning is not None
+            # The probe saw compressible data: the measured snapshot's
+            # sizes are far below raw, and the tuner moves off nocomp.
+            assert sess._measured.overall_ratio > 2.0
+            assert res.tuning.choice != "nocomp"
+
+
+class TestWarmStartMargin:
     def test_warm_start_margin_scales_hints(self, tmp_path):
         series = TimestepSeries(SHAPE, n_steps=2, seed=8)
         config = PipelineConfig(warm_start_margin=1.2)
