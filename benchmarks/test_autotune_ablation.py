@@ -15,21 +15,27 @@ from repro.bench.harness import ExperimentResult, save_result
 from repro.core.autotune import AutoTuner
 from repro.core.scenarios import scenario_matrix
 from repro.core.strategy import registered_strategies
-from repro.core.writers import simulate_strategy
+from repro.core.sweep import simulate_matrix
+from repro.exec import ThreadPoolExecutor
 from repro.sim.machine import BEBOP
 
 _FIXED = ("nocomp", "filter", "overlap", "reorder")
 
 
 def _autotune_ablation() -> ExperimentResult:
-    tuner = AutoTuner(BEBOP)
+    cases = scenario_matrix(seeds=(0, 1))
+    # The scenario × strategy sweep is the widest fan-out in the suite;
+    # run it (and the per-cell tuner pricing) through the thread backend.
+    with ThreadPoolExecutor() as ex:
+        tuner = AutoTuner(BEBOP, executor=ex)
+        cells = simulate_matrix(cases, strategies=_FIXED, machine=BEBOP, executor=ex)
+        choices = [tuner.choose(case.workload) for case in cases]
+    by_case = {}
+    for cell in cells:
+        by_case.setdefault(cell.case_label, {})[cell.strategy] = cell.makespan_seconds
     rows = []
-    for case in scenario_matrix(seeds=(0, 1)):
-        sims = {
-            name: simulate_strategy(name, case.workload, BEBOP).makespan_seconds
-            for name in _FIXED
-        }
-        choice = tuner.choose(case.workload)
+    for case, choice in zip(cases, choices):
+        sims = by_case[case.label]
         # The oracle and the regret derive from the sims already run
         # (min() keeps the first minimum — the shared tie rule).
         oracle = min(_FIXED, key=lambda n: sims[n])

@@ -18,9 +18,10 @@ def test_fig13(run_once):
     assert np.corrcoef(pred, act)[0, 1] > 0.8
     hi = [r for r in rows if r["bit_rate"] >= np.median([x["bit_rate"] for x in rows])]
     lo = [r for r in rows if r["bit_rate"] < np.median([x["bit_rate"] for x in rows])]
-    err = lambda rs: np.median(
-        [abs(r["predicted_s"] - r["actual_s"]) / r["actual_s"] for r in rs]
-    )
+    def err(rs):
+        return np.median(
+            [abs(r["predicted_s"] - r["actual_s"]) / r["actual_s"] for r in rs]
+        )
     # Paper: "the accuracy of low bit-rate is slightly lower than that of
     # high bit-rate" (small writes hit the latency-dominated ramp).
     assert err(hi) <= err(lo) * 1.5

@@ -19,7 +19,7 @@ import tempfile
 import numpy as np
 
 from repro.compression import SZCompressor
-from repro.core import PipelineConfig, build_workload, simulate_strategy
+from repro.core import build_workload, simulate_strategy
 from repro.core.pipeline import filter_write_pipeline, predictive_write_pipeline
 from repro.core.workload import scale_workload
 from repro.data import NyxGenerator, grid_partition
@@ -86,7 +86,7 @@ def performance_comparison() -> None:
     wl = build_workload("nyx", nranks=8, shape=(64, 64, 64), seed=3,
                         include_particles=True)
     wl = scale_workload(wl, nranks=512, values_per_partition=256**3)
-    print(f"simulated run: 512 Summit processes, 9 fields, "
+    print("simulated run: 512 Summit processes, 9 fields, "
           f"{wl.original_total / 1e9:.0f} GB logical, ratio {wl.overall_ratio:.1f}x")
     header = f"  {'solution':9s} {'total':>8s} {'compress':>9s} {'write':>8s} {'exposed':>8s}"
     print(header)
@@ -96,10 +96,13 @@ def performance_comparison() -> None:
         results[strat] = res
         print(f"  {strat:9s} {res.makespan_seconds:7.2f}s {res.compress_seconds:8.2f}s "
               f"{res.write_seconds:7.2f}s {res.write_exposed_seconds:7.2f}s")
-    print(f"\n  speedups: filter/nocomp={results['nocomp'].makespan_seconds / results['filter'].makespan_seconds:.2f}x  "
-          f"overlap/filter={results['filter'].makespan_seconds / results['overlap'].makespan_seconds:.2f}x  "
-          f"reorder/nocomp={results['nocomp'].makespan_seconds / results['reorder'].makespan_seconds:.2f}x")
-    print(f"  (paper: 1.87x, 1.79x, 4.46x)\n")
+    def _speedup(num: str, den: str) -> float:
+        return results[num].makespan_seconds / results[den].makespan_seconds
+
+    print(f"\n  speedups: filter/nocomp={_speedup('nocomp', 'filter'):.2f}x  "
+          f"overlap/filter={_speedup('filter', 'overlap'):.2f}x  "
+          f"reorder/nocomp={_speedup('nocomp', 'reorder'):.2f}x")
+    print("  (paper: 1.87x, 1.79x, 4.46x)\n")
     # Fig. 4-style timeline of a few ranks.
     trace = results["reorder"].trace
     few = [r for r in trace.records if r.rank < 4]

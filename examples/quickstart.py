@@ -72,7 +72,7 @@ def main() -> None:
             err = float(np.max(np.abs(out.astype(np.float64) - gen.field(n))))
             assert err <= gen.error_bound(n) * (1 + 1e-6)
         print(f"[3] verified: all {len(names)} fields read back within their "
-              f"error bounds")
+              "error bounds")
 
 
 if __name__ == "__main__":

@@ -47,7 +47,7 @@ def main() -> None:
             )
         cold = sess.results[0].seconds
         warm = float(np.mean([r.seconds for r in sess.results[1:]]))
-        print(f"\nwarm steps skip the sampling + reorder planning:"
+        print("\nwarm steps skip the sampling + reorder planning:"
               f" {cold:.3f}s cold vs {warm:.3f}s warm ({cold / warm:.1f}x)")
 
     # The session file persists: every step reads back within its bound.

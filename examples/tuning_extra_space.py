@@ -26,7 +26,7 @@ def main() -> None:
         include_particles=True,
     )
     wl = scale_workload(wl, nranks=256, values_per_partition=256**3)
-    print(f"workload: 256 simulated Summit processes, 9 fields, "
+    print("workload: 256 simulated Summit processes, 9 fields, "
           f"ratio {wl.overall_ratio:.1f}x (bit-rate {wl.overall_bit_rate:.2f})\n")
 
     print(f"{'Rspace':>7s} {'write overhead':>15s} {'storage overhead':>17s} "

@@ -27,7 +27,7 @@ from repro.core.config import PipelineConfig, extra_space_for_weight
 from repro.core.scheduler import CompressionTask, optimize_order, queue_time
 from repro.core.strategy import registered_strategies
 from repro.core.workload import Workload, build_workload, scale_workload
-from repro.core.writers import SimResult, default_models, simulate_strategy
+from repro.core.writers import SimResult, simulate_strategy
 from repro.data.fields import layered_field
 from repro.data.nyx import NyxGenerator
 from repro.data.partition import grid_partition

@@ -3,17 +3,23 @@
 The HDF5-like filter pipeline (:mod:`repro.hdf5.filters`) looks codecs up by
 name, mirroring HDF5's dynamically loaded filters.  Codecs are stateless with
 respect to the data they compress: all tuning lives in constructor arguments,
-so one instance can be shared across ranks/threads.
+so one instance can be shared across ranks/threads — and, because
+:meth:`Codec.compress` is a pure function of (codec config, array), the
+per-field fan-out helpers below produce byte-identical streams under any
+:mod:`repro.exec` backend.  The compression kernels bottom out in NumPy
+ufuncs and zlib, both of which release the GIL, so the thread backend sees
+real parallelism without process-pool pickling.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import CompressionError
+from repro.exec import resolve_executor
 
 
 class Codec(ABC):
@@ -68,3 +74,58 @@ def get_codec(name: str, **kwargs: object) -> Codec:
 def available_codecs() -> list[str]:
     """Sorted list of registered codec names."""
     return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Per-field fan-out (the drivers' compression hot loop)
+# ---------------------------------------------------------------------------
+
+def _compress_cell(cell: "tuple[Codec, np.ndarray]") -> bytes:
+    """One (codec, array) compression cell (module-level: process-safe)."""
+    codec, data = cell
+    return codec.compress(data)
+
+
+def _decompress_cell(cell: "tuple[Codec, bytes]") -> np.ndarray:
+    """One (codec, stream) decompression cell (module-level: process-safe)."""
+    codec, stream = cell
+    return codec.decompress(stream)
+
+
+def compress_fields(
+    fields: Mapping[str, np.ndarray],
+    codecs: Mapping[str, Codec],
+    order: Sequence[str] | None = None,
+    executor=None,
+) -> dict[str, bytes]:
+    """Compress every field through its codec; name → stream.
+
+    ``order`` fixes the cell order (the drivers pass their Algorithm 1
+    order); results are keyed by name so callers consume them in any
+    order.  Streams are byte-identical across executor backends — each
+    cell is a pure function — so parallelizing this loop can never change
+    what lands in the file.  The process backend chunks cells to amortize
+    array pickling.
+    """
+    names = list(order) if order is not None else list(fields)
+    missing = [n for n in names if n not in fields or n not in codecs]
+    if missing:
+        raise CompressionError(f"fields without data or codec: {missing}")
+    ex = resolve_executor(executor)
+    streams = ex.map_cells(_compress_cell, [(codecs[n], fields[n]) for n in names])
+    return dict(zip(names, streams))
+
+
+def decompress_fields(
+    streams: Mapping[str, bytes],
+    codecs: Mapping[str, Codec],
+    executor=None,
+) -> dict[str, np.ndarray]:
+    """Inverse of :func:`compress_fields`: name → reconstructed array."""
+    names = list(streams)
+    missing = [n for n in names if n not in codecs]
+    if missing:
+        raise CompressionError(f"streams without a codec: {missing}")
+    ex = resolve_executor(executor)
+    arrays = ex.map_cells(_decompress_cell, [(codecs[n], streams[n]) for n in names])
+    return dict(zip(names, arrays))

@@ -40,7 +40,7 @@ import numpy as np
 from repro.compression.codec import Codec, register_codec
 from repro.compression.huffman import huffman_decode, huffman_encode
 from repro.compression.lossless import lossless_compress, lossless_decompress
-from repro.compression.predictors import LorenzoPredictor, lorenzo_forward, lorenzo_inverse
+from repro.compression.predictors import LorenzoPredictor, lorenzo_inverse
 from repro.compression.quantizer import LinearQuantizer, QuantizerSpec
 from repro.errors import CompressionError, CorruptStreamError
 

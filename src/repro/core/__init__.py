@@ -26,7 +26,9 @@
   best registered strategy per workload/time-step;
 * :mod:`scenarios` — deterministic named workload regimes (skew,
   imbalance, drift, overflow stress, ...) consumed by the auto-tuner
-  tests, the parity matrix, and the ablation benchmarks.
+  tests, the parity matrix, and the ablation benchmarks;
+* :mod:`sweep` — the scenario × strategy sweep, fanned out through a
+  pluggable :mod:`repro.exec` backend (serial / thread / process).
 """
 
 from repro.core.autotune import (
@@ -77,6 +79,7 @@ from repro.core.strategy import (
     register_strategy,
     registered_strategies,
 )
+from repro.core.sweep import SweepCell, best_per_case, simulate_matrix
 from repro.core.workload import (
     FieldPartitionStats,
     Workload,
@@ -130,6 +133,9 @@ __all__ = [
     "SimDriver",
     "SimResult",
     "simulate_strategy",
+    "SweepCell",
+    "simulate_matrix",
+    "best_per_case",
     "RealDriver",
     "RankWriteStats",
     "predictive_write_pipeline",

@@ -53,6 +53,7 @@ from repro.core.writers import (
     simulate_strategy,
 )
 from repro.errors import ConfigError, OverflowHandlingError
+from repro.exec import Executor, resolve_executor
 from repro.sim.engine import Environment
 from repro.sim.machine import MachineProfile, get_machine
 
@@ -129,6 +130,15 @@ class AutoTuner:
         Explicit ``(throughput_model, write_model)`` pair; defaults to the
         offline-calibrated :func:`~repro.core.writers.default_models` at
         each workload's rank count — exactly what the drivers use.
+    executor:
+        Fan-out backend for per-strategy pricing and the per-rank cost
+        matrix (name, instance, or None → the config's ``executor``).
+        Serial/thread backends share one workload context across all
+        candidates; the process backend prices each candidate in a
+        self-contained picklable cell.  A pool resolved here from a
+        *name* lives until process exit (tuners have no close hook) —
+        pass an Executor instance to control its lifetime, or let
+        TimestepSession own it.
     """
 
     def __init__(
@@ -137,11 +147,15 @@ class AutoTuner:
         config: PipelineConfig | None = None,
         strategies: Sequence[str] | None = None,
         models=None,
+        executor: "str | Executor | None" = None,
     ) -> None:
         self.machine = get_machine(machine) if isinstance(machine, str) else machine
         self.config = config or PipelineConfig()
         self._strategies = tuple(strategies) if strategies is not None else None
         self.models = models
+        self.executor = resolve_executor(
+            executor if executor is not None else self.config.executor
+        )
 
     def strategy_names(self) -> tuple[str, ...]:
         """Candidate names (registration order when not pinned)."""
@@ -179,10 +193,24 @@ class AutoTuner:
         names = self.strategy_names()
         if not names:
             raise ConfigError("no candidate strategies to tune over")
-        # The models, file-system constants, and compress-time matrix
-        # depend only on the workload — share them across candidates.
-        ctx = _WorkloadContext(workload, self)
-        estimates = tuple(self._estimate(n, ctx, warm_start) for n in names)
+        if self.executor.needs_pickling:
+            # Process backend: each candidate prices in a self-contained
+            # cell (explicit models so children skip re-calibration).
+            models = self.models or default_models(self.machine, workload.nranks)
+            cells = [
+                (self.machine, self.config, models, name, workload, warm_start)
+                for name in names
+            ]
+            estimates = tuple(self.executor.map_cells(_price_cell, cells))
+        else:
+            # The models, file-system constants, and compress-time matrix
+            # depend only on the workload — share them across candidates.
+            ctx = _WorkloadContext(workload, self)
+            estimates = tuple(
+                self.executor.map_cells(
+                    lambda name: self._estimate(name, ctx, warm_start), names
+                )
+            )
         choice = _first_minimum(names, [e.makespan_seconds for e in estimates])
         decision = TuningDecision(
             workload_name=workload.name, estimates=estimates, choice=choice
@@ -196,6 +224,29 @@ class AutoTuner:
     def choose(self, workload: Workload, warm_start: bool = False) -> str:
         """Name of the winning strategy for this workload."""
         return self.evaluate(workload, warm_start).choice
+
+
+def _price_cell(cell) -> StrategyEstimate:
+    """One candidate's estimate as a self-contained picklable cell.
+
+    Used by process-backed tuners; a fresh (serial) tuner in the worker
+    reproduces the estimate exactly — pricing is deterministic in
+    (machine, config, models, workload).  The worker tuner is pinned to
+    the serial backend: honoring ``config.executor`` here would spawn a
+    nested pool inside every pool worker.
+    """
+    machine, config, models, name, workload, warm_start = cell
+    tuner = AutoTuner(machine=machine, config=config, models=models, executor="serial")
+    return tuner.estimate(name, workload, warm_start)
+
+
+def _rank_eq1_seconds(cell) -> list[float]:
+    """Eq. (1) seconds for one rank's column (module-level: process-safe)."""
+    tmodel, n_values, actual = cell
+    return [
+        tmodel.predict_seconds(int(n), 8.0 * float(a) / float(n))
+        for n, a in zip(n_values, actual)
+    ]
 
 
 class _WorkloadContext:
@@ -221,16 +272,16 @@ class _WorkloadContext:
         self.original = workload.matrix("original_nbytes")
         self.actual = workload.matrix("actual_nbytes")
         self.predicted = workload.matrix("predicted_nbytes")
-        # Eq. (1) compression seconds at each partition's actual bit-rate.
-        self.compress = np.array(
+        # Eq. (1) compression seconds at each partition's actual bit-rate —
+        # the tuner's per-rank hot loop, fanned out through the executor.
+        per_rank = tuner.executor.map_cells(
+            _rank_eq1_seconds,
             [
-                [
-                    self.tmodel.predict_seconds(int(n), 8.0 * float(a) / float(n))
-                    for n, a in zip(self.n_values[f], self.actual[f])
-                ]
-                for f in range(workload.nfields)
-            ]
+                (self.tmodel, self.n_values[:, r], self.actual[:, r])
+                for r in range(workload.nranks)
+            ],
         )
+        self.compress = np.asarray(per_rank, dtype=float).T
 
 
 class _Estimator:
@@ -429,16 +480,34 @@ def exhaustive_oracle(
     machine: str | MachineProfile = "bebop",
     config: PipelineConfig | None = None,
     strategies: Sequence[str] | None = None,
+    executor: "str | Executor | None" = None,
 ) -> str:
     """Evaluate-all-strategies oracle: simulate every candidate and pick
     the smallest makespan, with the same tie rule as the tuner.
 
     Strategies the simulator refuses (infeasible phase/workload
     combinations) count as infinitely slow, again mirroring the tuner.
+    The per-candidate simulations are independent, so the exhaustive
+    sweep fans out over any executor backend (cells are picklable).
     """
     machine = get_machine(machine) if isinstance(machine, str) else machine
     names = tuple(strategies) if strategies is not None else registered_strategies()
-    return _first_minimum(names, [_simulated(n, workload, machine, config) for n in names])
+    ex = resolve_executor(executor)
+    try:
+        makespans = ex.map_cells(
+            _simulated_cell, [(name, workload, machine, config) for name in names]
+        )
+    finally:
+        # A pool resolved here from a name is ours; caller-passed
+        # instances keep caller-managed lifetimes.
+        if not isinstance(executor, Executor):
+            ex.close()
+    return _first_minimum(names, makespans)
+
+
+def _simulated_cell(cell) -> float:
+    """Picklable wrapper so the oracle sweep runs on any backend."""
+    return _simulated(*cell)
 
 
 def _simulated(name, workload, machine, config) -> float:

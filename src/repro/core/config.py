@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.exec import EXECUTOR_NAMES
 
 #: Supported extra-space interval (paper Section III-D).
 EXTRA_SPACE_MIN = 1.1
@@ -62,6 +63,10 @@ class PipelineConfig:
     #: reused as predictions in the streaming session (Fig. 15 consistency
     #: means 1.0 is usually right; raise it for fast-drifting series).
     warm_start_margin: float = 1.0
+    #: execution backend for the fan-out hot paths ("serial" / "thread" /
+    #: "process"); serial keeps the historical bit-identical in-loop
+    #: behavior, parallel backends change wall-clock only.
+    executor: str = "serial"
 
     def __post_init__(self) -> None:
         if not EXTRA_SPACE_MIN <= self.extra_space_ratio <= EXTRA_SPACE_MAX:
@@ -77,6 +82,10 @@ class PipelineConfig:
             raise ConfigError("async_workers must be positive")
         if self.warm_start_margin <= 0:
             raise ConfigError("warm_start_margin must be positive")
+        if self.executor not in EXECUTOR_NAMES:
+            raise ConfigError(
+                f"executor must be one of {list(EXECUTOR_NAMES)}; got {self.executor!r}"
+            )
 
     @classmethod
     def from_weight(cls, performance_weight: float, **kwargs) -> "PipelineConfig":

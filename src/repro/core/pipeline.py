@@ -31,11 +31,13 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.compression.codec import compress_fields
 from repro.compression.sz import SZCompressor
 from repro.core.config import PipelineConfig
 from repro.core.strategy import WriteStrategy, field_index_map, get_strategy, predict_phase_costs
 from repro.core.writers import default_models
 from repro.errors import ConfigError, OverflowHandlingError
+from repro.exec import Executor, resolve_executor
 from repro.hdf5.async_io import EventSet
 from repro.hdf5.dataset import Dataset
 from repro.hdf5.file import File
@@ -125,6 +127,7 @@ class RealDriver:
         strategy: str | WriteStrategy = "reorder",
         config: PipelineConfig | None = None,
         machine_name: str = "bebop",
+        executor: "str | Executor | None" = None,
     ) -> None:
         self.strategy = (
             strategy if isinstance(strategy, WriteStrategy) else get_strategy(strategy)
@@ -132,6 +135,14 @@ class RealDriver:
         self.strategy.validate()
         self.config = config or PipelineConfig()
         self.machine_name = machine_name
+        # Per-field compression fan-out *within* each rank; the serial
+        # default preserves the historical compress-then-queue loop.
+        # Note: a pool resolved here from a *name* lives until process
+        # exit (drivers are stateless values with no close hook) — pass
+        # an Executor instance, or let TimestepSession own the lifecycle.
+        self.executor = resolve_executor(
+            executor if executor is not None else self.config.executor
+        )
 
     def run(
         self,
@@ -240,10 +251,21 @@ class RealDriver:
         overlapped = strat.compress_write.overlap
         es = EventSet() if overlapped else None
         vol = AsyncVOL(file.async_engine, event_set=es) if overlapped else NativeVOL()
+        # When per-field compression will genuinely fan out, compress the
+        # fields concurrently up front (streams are pure per-field
+        # functions, so bytes cannot change).  Otherwise — the serial
+        # default, or a rank already running *on* the pool, where nested
+        # cells execute inline — keep the historical compress-then-queue
+        # loop so overlapped writes still hide behind compression.
+        streams = (
+            compress_fields(fields, codecs, order=order, executor=self.executor)
+            if self.executor.cells_parallel_here
+            else None
+        )
         actual: dict[str, int] = {}
         tails: dict[str, bytes] = {}
         for name in order:
-            stream = codecs[name].compress(fields[name])
+            stream = streams[name] if streams is not None else codecs[name].compress(fields[name])
             actual[name] = len(stream)
             reserved = int(table.reserved[index[name], comm.rank])
             vol.partition_write(datasets[name], comm.rank, stream)
@@ -300,7 +322,7 @@ class RealDriver:
         names = list(fields)
         datasets = _field_datasets(comm, file, fields, global_shape, codecs,
                                    "declared", group)
-        streams = {name: codecs[name].compress(fields[name]) for name in names}
+        streams = compress_fields(fields, codecs, executor=self.executor)
         actual = {name: len(streams[name]) for name in names}
         gathered = comm.allgather(
             {

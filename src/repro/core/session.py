@@ -42,9 +42,9 @@ from repro.core.strategy import PredictPhase, WriteStrategy
 from repro.data.partition import grid_partition, slab_partition
 from repro.data.timesteps import TimestepSeries
 from repro.errors import ConfigError, InvalidStateError
+from repro.exec import Executor, resolve_executor
 from repro.hdf5.file import File
 from repro.hdf5.properties import FileAccessProps
-from repro.mpi.executor import run_spmd
 
 #: The strategy an ``"auto"`` session starts from before it has measured
 #: anything (the paper's full solution).
@@ -117,6 +117,16 @@ class TimestepSession:
     warm_start:
         Reuse step *t−1*'s actual sizes and field order at step *t*
         (predictive strategies only); ``False`` re-plans every step.
+    executor:
+        Fan-out backend (name, instance, or None → the config's
+        ``executor``).  It schedules the per-step SPMD ranks, each rank's
+        per-field compression, and — in auto mode — the tuner's
+        per-strategy pricing.  The serial default is bit-identical to the
+        historical behavior; parallel backends change wall-clock only.
+        Pools resolved from a *name* belong to the session and are shut
+        down by :meth:`close`; pass an :class:`~repro.exec.Executor`
+        instance to share one pool across components under the caller's
+        lifetime.
     """
 
     def __init__(
@@ -131,6 +141,7 @@ class TimestepSession:
         field_names: list[str] | None = None,
         machine_name: str = "bebop",
         warm_start: bool = True,
+        executor: "str | Executor | None" = None,
     ) -> None:
         if nranks <= 0:
             raise ConfigError("nranks must be positive")
@@ -138,16 +149,24 @@ class TimestepSession:
         self.nranks = int(nranks)
         self.config = config or PipelineConfig()
         self.machine_name = machine_name
+        spec = executor if executor is not None else self.config.executor
+        self.executor = resolve_executor(spec)
+        # A pool built here from a *name* is ours to shut down on close;
+        # caller-passed instances keep caller-managed lifetimes.
+        self._owns_executor = not isinstance(spec, Executor)
         self.auto = isinstance(strategy, str) and strategy == "auto"
         self._drivers: dict[str, RealDriver] = {}
         if self.auto:
             self.tuner: AutoTuner | None = AutoTuner(
-                machine=machine_name, config=self.config
+                machine=machine_name, config=self.config, executor=self.executor
             )
             self._current = AUTO_INITIAL_STRATEGY
         else:
             self.tuner = None
-            driver = RealDriver(strategy, config=self.config, machine_name=machine_name)
+            driver = RealDriver(
+                strategy, config=self.config, machine_name=machine_name,
+                executor=self.executor,
+            )
             self._drivers[driver.strategy.name] = driver
             self._current = driver.strategy.name
         self.warm_start = warm_start
@@ -200,15 +219,23 @@ class TimestepSession:
     def _driver_for(self, name: str) -> RealDriver:
         if name not in self._drivers:
             self._drivers[name] = RealDriver(
-                name, config=self.config, machine_name=self.machine_name
+                name, config=self.config, machine_name=self.machine_name,
+                executor=self.executor,
             )
         return self._drivers[name]
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Flush the footer and close the session file (idempotent)."""
-        self.file.close()
+        """Flush the footer, close the session file, and release any
+        executor pool this session created from a config name
+        (idempotent; caller-passed executor instances are left running).
+        """
+        try:
+            self.file.close()
+        finally:
+            if self._owns_executor:
+                self.executor.close()
 
     def __enter__(self) -> "TimestepSession":
         return self
@@ -272,7 +299,7 @@ class TimestepSession:
             )
 
         t0 = time.perf_counter()
-        stats = run_spmd(self.nranks, rank_fn)
+        stats = self.executor.map_ranks(self.nranks, rank_fn)
         seconds = time.perf_counter() - t0
         if driver.strategy.compresses:
             # Raw-write actuals are partition sizes, useless as compressed-

@@ -42,6 +42,7 @@ from repro.core.strategy import (
 )
 from repro.core.workload import Workload
 from repro.errors import OverflowHandlingError
+from repro.exec import Executor, resolve_executor
 from repro.modeling.calibration import calibrate_write_throughput
 from repro.modeling.throughput_model import PowerLawThroughputModel
 from repro.modeling.write_model import StableWriteModel
@@ -152,6 +153,7 @@ def simulate_strategy(
     config: PipelineConfig | None = None,
     models: tuple[PowerLawThroughputModel, StableWriteModel] | None = None,
     handle_overflow: bool = True,
+    executor: "str | Executor | None" = None,
 ) -> SimResult:
     """Run one registered strategy over one workload on one machine profile.
 
@@ -159,9 +161,39 @@ def simulate_strategy(
     (the "write time without handling data overflow" reference the paper's
     Fig. 14 performance overhead is measured against).
     """
-    return SimDriver(machine, models=models).run(
+    return SimDriver(machine, models=models, executor=executor).run(
         strategy, workload, config=config, handle_overflow=handle_overflow
     )
+
+
+def _rank_compression_seconds(cell) -> list[float]:
+    """Eq. (1) compression seconds for one rank's field column.
+
+    Module-level (and fed plain arrays) so the cell pickles cleanly into
+    a process-pool worker; the cost-model evaluation is the simulator's
+    per-rank hot loop, not the event engine itself.
+    """
+    cost_model, n_values, actual, outliers, unique = cell
+    return [
+        cost_model.compression_seconds(
+            n_values=int(n),
+            bit_rate=8.0 * float(a) / float(n),
+            n_outliers=int(o),
+            n_unique_symbols=int(u),
+        )
+        for n, a, o, u in zip(n_values, actual, outliers, unique)
+    ]
+
+
+def _rank_field_order(cell) -> list[int]:
+    """Algorithm 1 ordering for one rank (module-level: process-safe)."""
+    cw, tmodel, wmodel, n_values, plan_sizes = cell
+    nfields = len(n_values)
+    if not cw.reorder:
+        return list(range(nfields))
+    compress_s, write_s = predict_phase_costs(tmodel, wmodel, n_values, plan_sizes)
+    names = [str(f) for f in range(nfields)]
+    return [int(name) for name in cw.field_order(names, compress_s, write_s)]
 
 
 class SimDriver:
@@ -172,9 +204,13 @@ class SimDriver:
         self,
         machine: MachineProfile,
         models: tuple[PowerLawThroughputModel, StableWriteModel] | None = None,
+        executor: "str | Executor | None" = None,
     ) -> None:
         self.machine = machine
         self.models = models
+        # Per-rank cost-model evaluation fan-out (the discrete-event loop
+        # itself stays single-threaded; its cost inputs parallelize).
+        self.executor = resolve_executor(executor)
 
     def run(
         self,
@@ -188,20 +224,22 @@ class SimDriver:
         strat.validate()
         models = self.models or default_models(self.machine, workload.nranks)
         run = _SimRun(strat, workload, self.machine, config or PipelineConfig(),
-                      models, handle_overflow)
+                      models, handle_overflow, self.executor)
         return run.execute()
 
 
 class _SimRun:
     """One simulation run (helper holding shared state)."""
 
-    def __init__(self, strategy, workload, machine, config, models, handle_overflow):
+    def __init__(self, strategy, workload, machine, config, models, handle_overflow,
+                 executor=None):
         self.strategy = strategy
         self.w = workload
         self.machine = machine
         self.config = config
         self.tmodel, self.wmodel = models
         self.handle_overflow = handle_overflow
+        self.executor = resolve_executor(executor)
         self.env = Environment()
         self.fs = machine.make_filesystem(self.env, nranks=workload.nranks)
         self.trace = TraceRecorder()
@@ -217,16 +255,26 @@ class _SimRun:
         self.plan_sizes = self.predicted
         self.offset_table: OffsetTable | None = None
         self.overflow_plan: OverflowPlan | None = None
+        # Eq. (1) seconds for every (field, rank) — the per-rank hot loop,
+        # fanned out over ranks through the executor.  Raw strategies
+        # never read compression costs, so they skip the whole matrix.
+        if strategy.compress_write.compress:
+            per_rank = self.executor.map_cells(
+                _rank_compression_seconds,
+                [
+                    (machine.cost_model, self.n_values[:, r], self.actual[:, r],
+                     self.outliers[:, r], self.unique[:, r])
+                    for r in range(workload.nranks)
+                ],
+            )
+            self.compress_s = np.asarray(per_rank, dtype=float).T
+        else:
+            self.compress_s = None
 
     # -- shared cost helpers --------------------------------------------------
 
     def _compress_seconds(self, f: int, r: int) -> float:
-        return self.machine.cost_model.compression_seconds(
-            n_values=int(self.n_values[f, r]),
-            bit_rate=8.0 * self.actual[f, r] / self.n_values[f, r],
-            n_outliers=int(self.outliers[f, r]),
-            n_unique_symbols=int(self.unique[f, r]),
-        )
+        return float(self.compress_s[f, r])
 
     def _predict_seconds(self, r: int) -> float:
         """Ratio/throughput prediction overhead: the sampled fraction of the
@@ -234,15 +282,16 @@ class _SimRun:
         total = sum(self._compress_seconds(f, r) for f in range(self.w.nfields))
         return total * self.config.sample_fraction * PREDICT_OVERHEAD_FACTOR
 
-    def _field_order(self, r: int) -> list[int]:
+    def _field_orders(self) -> list[list[int]]:
+        """Every rank's Algorithm 1 order, fanned out through the executor."""
         cw = self.strategy.compress_write
-        if not cw.reorder:
-            return list(range(self.w.nfields))
-        compress_s, write_s = predict_phase_costs(
-            self.tmodel, self.wmodel, self.n_values[:, r], self.plan_sizes[:, r]
+        return self.executor.map_cells(
+            _rank_field_order,
+            [
+                (cw, self.tmodel, self.wmodel, self.n_values[:, r], self.plan_sizes[:, r])
+                for r in range(self.w.nranks)
+            ],
         )
-        names = [str(f) for f in range(self.w.nfields)]
-        return [int(name) for name in cw.field_order(names, compress_s, write_s)]
 
     # -- execution shapes -----------------------------------------------------
 
@@ -335,6 +384,7 @@ class _SimRun:
         done_count = {"n": 0}
 
         overlap = strat.compress_write.overlap
+        orders = self._field_orders()
 
         def rank_proc(r: int):
             # Phase 1: prediction (skipped when the strategy plans from
@@ -353,7 +403,7 @@ class _SimRun:
             # this rank's stream, otherwise each write blocks in place.
             prev_write = None
             pending = []
-            for f in self._field_order(r):
+            for f in orders[r]:
                 t0 = env.now
                 yield env.timeout(self._compress_seconds(f, r))
                 trace.add(r, "compress", t0, env.now, label=self.w.fields[f])

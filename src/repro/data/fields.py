@@ -102,7 +102,9 @@ def layered_field(
     shape = tuple(int(s) for s in shape)
     rng = resolve_rng(seed)
     depth = shape[0]
-    cuts = np.sort(rng.choice(np.arange(1, depth), size=min(n_layers - 1, depth - 1), replace=False))
+    cuts = np.sort(
+        rng.choice(np.arange(1, depth), size=min(n_layers - 1, depth - 1), replace=False)
+    )
     boundaries = np.concatenate(([0], cuts, [depth]))
     base = np.empty(depth)
     level = 1.5 + rng.random() * 0.5

@@ -26,7 +26,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.data.fields import gaussian_random_field, lognormal_field
-from repro.utils.rng import resolve_rng, spawn_rngs
+from repro.utils.rng import spawn_rngs
 
 #: The six fluid fields of a standard Nyx plotfile, paper order.
 NYX_FIELDS = (

@@ -24,7 +24,7 @@ import threading
 
 import numpy as np
 
-from repro.utils.rng import resolve_rng, spawn_rngs
+from repro.utils.rng import spawn_rngs
 
 #: The eight per-particle fields of a VPIC dump, in dump order.
 VPIC_FIELDS = ("x", "y", "z", "ux", "uy", "uz", "energy", "weight")
@@ -124,7 +124,11 @@ class VPICGenerator:
         elif name == "energy":
             # gamma - 1 from the three momenta (correlated, positive).
             ux, uy, uz = (self.field(c) for c in ("ux", "uy", "uz"))
-            u2 = ux.astype(np.float64) ** 2 + uy.astype(np.float64) ** 2 + uz.astype(np.float64) ** 2
+            u2 = (
+                ux.astype(np.float64) ** 2
+                + uy.astype(np.float64) ** 2
+                + uz.astype(np.float64) ** 2
+            )
             f = np.sqrt(1.0 + u2) - 1.0
         elif name == "weight":
             # Macro-particle weight: piecewise-constant per cell with a weak

@@ -61,11 +61,18 @@ class File:
 
     @property
     def async_engine(self) -> AsyncIOEngine:
-        """Lazily started background-writer engine (async VOL backing)."""
-        with self._engine_lock:
-            if self._async_engine is None:
-                self._async_engine = AsyncIOEngine(workers=self.fapl.async_workers)
-            return self._async_engine
+        """Lazily started background-writer engine (async VOL backing).
+
+        Double-checked: every rank reads this per phase, so the steady
+        state must not funnel through the creation lock.
+        """
+        engine = self._async_engine
+        if engine is None:
+            with self._engine_lock:
+                if self._async_engine is None:
+                    self._async_engine = AsyncIOEngine(workers=self.fapl.async_workers)
+                engine = self._async_engine
+        return engine
 
     def close(self) -> None:
         """Flush metadata (writable modes) and close (idempotent)."""

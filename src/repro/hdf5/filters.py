@@ -64,7 +64,9 @@ class _FilterImpl:
 _REGISTRY: dict[int, _FilterImpl] = {}
 
 
-def register_filter(filter_id: int, name: str, kind: str, apply: Callable, invert: Callable) -> None:
+def register_filter(
+    filter_id: int, name: str, kind: str, apply: Callable, invert: Callable
+) -> None:
     """Register a filter implementation under a numeric id."""
     if kind not in ("array", "bytes"):
         raise FilterError("kind must be 'array' or 'bytes'")

@@ -7,7 +7,11 @@ The file layout is::
 
 The allocator is append-only (end-of-data watermark) with power-of-two
 alignment, guarded by a lock so thread ranks can allocate concurrently.
-Two operations matter to the paper's scheme:
+The lock covers *only* the watermark arithmetic — never the data I/O —
+so concurrent rank writes through the thread backend proceed fully in
+parallel (``os.pwrite`` at distinct offsets needs no locking); the
+storage stress tests assert both properties.  Two operations matter to
+the paper's scheme:
 
 * :meth:`FileStorage.allocate` — claim ``nbytes`` (possibly *reserved*
   space larger than the payload: the extra-space mechanism);
@@ -111,13 +115,19 @@ class FileStorage:
         return self._footer
 
     def finalize(self, footer: dict) -> None:
-        """Write the JSON footer and patch the header pointer."""
+        """Write the JSON footer and patch the header pointer.
+
+        Only the watermark reservation happens under the allocation lock;
+        the footer and header writes run outside it, so a late concurrent
+        writer is never serialized behind footer I/O.
+        """
         blob = json.dumps(footer, sort_keys=True).encode("utf-8")
         with self._lock:
             ptr = self._end
-            self.file.pwrite(blob, ptr)
-            self.file.pwrite(_HEADER.pack(_MAGIC, _VERSION, ptr, len(blob)), 0)
-            self._footer = footer
+            self._end = ptr + len(blob)  # reserve the footer region
+        self.file.pwrite(blob, ptr)
+        self.file.pwrite(_HEADER.pack(_MAGIC, _VERSION, ptr, len(blob)), 0)
+        self._footer = footer
 
     def close(self) -> None:
         """Close the underlying file (idempotent)."""

@@ -100,7 +100,9 @@ class AsyncVOL(VOLConnector):
             )
         )
 
-    def chunk_write(self, dataset: Dataset, coords: Sequence[int], data: np.ndarray) -> AsyncRequest:
+    def chunk_write(
+        self, dataset: Dataset, coords: Sequence[int], data: np.ndarray
+    ) -> AsyncRequest:
         coords = tuple(coords)
         return self._track(
             self.engine.submit(

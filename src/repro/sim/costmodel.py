@@ -101,4 +101,7 @@ class SZCostModel:
 
     def bounds_mbps(self) -> tuple[float, float]:
         """(min, max) emergent throughput over bit-rates [0, 32]."""
-        return (self.throughput_mbps(32.0, n_unique_symbols=0), self.throughput_mbps(0.0, n_unique_symbols=0))
+        return (
+            self.throughput_mbps(32.0, n_unique_symbols=0),
+            self.throughput_mbps(0.0, n_unique_symbols=0),
+        )

@@ -1,0 +1,153 @@
+"""The ``python -m repro.bench`` CLI: artifact schema and regression gate."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.cli import (
+    BENCH_SCENARIOS,
+    BENCHES,
+    SCHEMA,
+    check_regressions,
+    main,
+    serial_seconds,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    """One quick serial+thread run over a single scenario, parsed back."""
+    out = tmp_path_factory.mktemp("bench")
+    status = main([
+        "--quick", "--scenarios", "balanced", "--backends", "serial,thread",
+        "--repeats", "1", "--out", str(out),
+    ])
+    assert status == 0
+    paths = list(out.glob("BENCH_*.json"))
+    assert len(paths) == 1
+    with open(paths[0], encoding="utf-8") as f:
+        return json.load(f), paths[0]
+
+
+class TestArtifact:
+    def test_schema_and_required_keys(self, quick_report):
+        report, path = quick_report
+        assert report["schema"] == SCHEMA
+        assert path.name == f"BENCH_{report['git_sha']}.json"
+        for key in ("git_sha", "created", "quick", "host", "cells",
+                    "speedups", "fingerprints", "strategy_choices"):
+            assert key in report
+        assert report["quick"] is True
+        assert report["host"]["cpu_count"] >= 1
+
+    def test_full_cell_matrix_present(self, quick_report):
+        report, _ = quick_report
+        keys = {(c["bench"], c["scenario"], c["backend"]) for c in report["cells"]}
+        assert keys == {
+            (b, "balanced", backend) for b in BENCHES for backend in ("serial", "thread")
+        }
+        assert all(c["seconds"] > 0 for c in report["cells"])
+
+    def test_speedups_reference_serial(self, quick_report):
+        report, _ = quick_report
+        for key, per_backend in report["speedups"].items():
+            assert key.split("/")[0] in BENCHES
+            assert per_backend["serial"] == pytest.approx(1.0)
+
+    def test_fingerprints_identical_across_backends(self, quick_report):
+        report, _ = quick_report
+        assert report["fingerprints"], "no fingerprints recorded"
+        for key, entry in report["fingerprints"].items():
+            assert entry["identical"], f"backend divergence in {key}: {entry}"
+
+    def test_strategy_choice_fingerprint_is_strategy_names(self, quick_report):
+        report, _ = quick_report
+        choices = report["strategy_choices"]["balanced"].split(",")
+        assert choices and all(c in ("nocomp", "filter", "overlap", "reorder")
+                               for c in choices)
+
+
+class TestRegressionGate:
+    def _baseline(self, report, scale):
+        return {
+            "schema": SCHEMA,
+            "serial_seconds": {
+                k: v * scale for k, v in serial_seconds(report).items()
+            },
+        }
+
+    def test_passes_against_generous_baseline(self, quick_report):
+        report, _ = quick_report
+        assert check_regressions(report, self._baseline(report, 10.0), 0.25) == []
+
+    def test_fails_against_tight_baseline(self, quick_report):
+        report, _ = quick_report
+        failures = check_regressions(
+            report, self._baseline(report, 0.01), 0.25, abs_slack=0.0
+        )
+        assert failures and all("baseline" in f for f in failures)
+
+    def test_abs_slack_floor_suppresses_millisecond_noise(self, quick_report):
+        """Quick cells run in milliseconds; a generous absolute floor must
+        keep scheduler jitter from tripping the relative gate."""
+        report, _ = quick_report
+        assert check_regressions(
+            report, self._baseline(report, 0.01), 0.25, abs_slack=60.0
+        ) == []
+
+    def test_quick_vs_full_mode_mismatch_is_a_failure(self, quick_report):
+        report, _ = quick_report
+        baseline = self._baseline(report, 10.0)
+        baseline["quick"] = False  # baseline recorded at full sizes
+        failures = check_regressions(report, baseline, 0.25)
+        assert failures and "full mode" in failures[0]
+
+    def test_missing_benchmark_is_a_failure(self, quick_report):
+        report, _ = quick_report
+        baseline = self._baseline(report, 10.0)
+        baseline["serial_seconds"]["plan/never-ran"] = 1.0
+        failures = check_regressions(report, baseline, 0.25)
+        assert any("missing" in f for f in failures)
+
+    def test_gate_wired_into_cli_exit_code(self, quick_report, tmp_path):
+        report, _ = quick_report
+        tight = tmp_path / "tight.json"
+        tight.write_text(json.dumps(self._baseline(report, 0.001)))
+        status = main([
+            "--quick", "--scenarios", "balanced", "--backends", "serial",
+            "--repeats", "1", "--out", str(tmp_path),
+            "--baseline", str(tight), "--regression-slack", "0",
+        ])
+        assert status == 1
+
+    def test_write_baseline_roundtrip(self, tmp_path):
+        base = tmp_path / "baseline.json"
+        status = main([
+            "--quick", "--scenarios", "balanced", "--backends", "serial",
+            "--repeats", "1", "--out", str(tmp_path),
+            "--write-baseline", str(base),
+        ])
+        assert status == 0
+        blob = json.loads(base.read_text())
+        assert blob["schema"] == SCHEMA
+        assert set(blob["serial_seconds"]) == {f"{b}/balanced" for b in BENCHES}
+
+
+@pytest.mark.slow
+def test_module_entrypoint_all_backends_and_scenarios(tmp_path):
+    """`python -m repro.bench --quick` end to end: all three backends, the
+    full scenario triple, identical fingerprints everywhere."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "--quick", "--repeats", "1",
+         "--out", str(tmp_path)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    (path,) = tmp_path.glob("BENCH_*.json")
+    report = json.loads(path.read_text())
+    backends = {c["backend"] for c in report["cells"]}
+    assert backends == {"serial", "thread", "process"}
+    assert {c["scenario"] for c in report["cells"]} == set(BENCH_SCENARIOS)
+    assert all(v["identical"] for v in report["fingerprints"].values())

@@ -10,7 +10,7 @@ from repro.errors import (
     ObjectExistsError,
     ObjectNotFoundError,
 )
-from repro.hdf5 import DatasetCreateProps, File
+from repro.hdf5 import File
 from repro.hdf5.datatype import dtype_from_tag, dtype_tag
 from repro.hdf5.storage import HEADER_SIZE, FileStorage
 

@@ -89,7 +89,10 @@ class TestFilterPipeline:
 
     def test_json_roundtrip(self):
         pipe = FilterPipeline(
-            (FilterSpec(FILTER_SZ, {"bound": 0.01, "mode": "rel"}), FilterSpec(FILTER_DEFLATE, {"level": 2}))
+            (
+                FilterSpec(FILTER_SZ, {"bound": 0.01, "mode": "rel"}),
+                FilterSpec(FILTER_DEFLATE, {"level": 2}),
+            )
         )
         restored = FilterPipeline.from_json(pipe.to_json())
         assert restored.specs == pipe.specs

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.compression.huffman import (
     MAX_CODE_LEN,
-    HuffmanCode,
     build_code,
     deserialize_code,
     huffman_decode,

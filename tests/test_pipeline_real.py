@@ -132,7 +132,8 @@ class TestFilterPipeline:
             for name in names:
                 out = f[f"fields/{name}"].read()
                 bound = codecs[name].quantizer.requested_bound
-                assert np.max(np.abs(out.astype(np.float64) - gen.field(name))) <= bound * (1 + 1e-6)
+                err = np.max(np.abs(out.astype(np.float64) - gen.field(name)))
+                assert err <= bound * (1 + 1e-6)
 
     def test_no_overflow_by_construction(self, tmp_path):
         gen, names, codecs, payload = _setup(seed=23)

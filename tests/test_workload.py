@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.workload import (
     FieldPartitionStats,
-    Workload,
     build_workload,
     scale_workload,
 )
