@@ -79,7 +79,12 @@ class BenchCell:
 # Microbenchmark bodies (each returns a fingerprint string)
 # ---------------------------------------------------------------------------
 
-def _digest(parts: "list[bytes | str]") -> str:
+def digest(parts: "list[bytes | str]") -> str:
+    """Short stable fingerprint of an ordered byte/str sequence.
+
+    Shared with :mod:`repro.verify`, whose differential-parity pillar
+    fingerprints whole written files the same way the bench cells do.
+    """
     h = hashlib.sha256()
     for p in parts:
         h.update(p.encode("utf-8") if isinstance(p, str) else p)
@@ -105,7 +110,7 @@ def _plan_cell(cell) -> str:
     table = get_strategy("reorder").plan.compute_table(
         predicted, original, PipelineConfig(), 4096
     )
-    return _digest([table.offsets.tobytes(), table.reserved.tobytes()])
+    return digest([table.offsets.tobytes(), table.reserved.tobytes()])
 
 
 def setup_plan(sc: Scenario, quick: bool):
@@ -119,7 +124,7 @@ def setup_plan(sc: Scenario, quick: bool):
 
 def run_plan(ex: Executor, cells) -> str:
     """Phase-2 planning: one offset table per seed, fanned over seeds."""
-    return _digest(ex.map_cells(_plan_cell, cells))
+    return digest(ex.map_cells(_plan_cell, cells))
 
 
 def _compress_cell(cell) -> bytes:
@@ -142,7 +147,7 @@ def setup_compress(sc: Scenario, quick: bool):
 def run_compress(ex: Executor, cells) -> str:
     """Per-field compression cells from the scenario's real arrays."""
     streams = ex.map_cells(_compress_cell, cells)
-    return _digest([hashlib.sha256(s).digest() for s in streams])
+    return digest([hashlib.sha256(s).digest() for s in streams])
 
 
 def setup_write(sc: Scenario, quick: bool):
@@ -170,7 +175,7 @@ def run_write(ex: Executor, arrays) -> str:
         finally:
             f.close()
         with open(path, "rb") as fh:
-            return _digest([hashlib.sha256(fh.read()).digest()])
+            return digest([hashlib.sha256(fh.read()).digest()])
 
 
 def setup_tune(sc: Scenario, quick: bool):
@@ -199,7 +204,8 @@ _BENCH_FNS: dict[str, tuple[Callable, Callable]] = {
 # Suite driver
 # ---------------------------------------------------------------------------
 
-def _git_sha() -> str:
+def git_sha() -> str:
+    """Short HEAD sha for artifact naming (shared with :mod:`repro.verify`)."""
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
@@ -281,7 +287,7 @@ def build_report(cells: "list[BenchCell]", quick: bool, repeats: int) -> dict:
             }
     return {
         "schema": SCHEMA,
-        "git_sha": _git_sha(),
+        "git_sha": git_sha(),
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "quick": quick,
         "repeats": repeats,

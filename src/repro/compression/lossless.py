@@ -122,7 +122,12 @@ def lossless_decompress(stream: bytes) -> tuple[bytes, int]:
             raise CorruptStreamError("raw lossless body truncated")
         return body[:orig_len], 1 + _LEN.size + orig_len
     if tag == _TAG_ZLIB:
-        out = zlib.decompress(body)
+        try:
+            out = zlib.decompress(body)
+        except zlib.error as exc:
+            # Surfaced by tamper-detection certification: corrupt bytes must
+            # raise the library's own taxonomy, not a raw zlib.error.
+            raise CorruptStreamError(f"zlib body corrupt: {exc}") from exc
         if len(out) != orig_len:
             raise CorruptStreamError("zlib body length mismatch")
         return out, len(stream)

@@ -14,7 +14,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compression.codec import Codec
-from repro.utils.stats import bit_rate, compression_ratio, max_abs_error, psnr
+from repro.utils.stats import (
+    bit_rate,
+    compression_ratio,
+    max_abs_error,
+    psnr,
+    violates_bound,
+)
 
 
 @dataclass(frozen=True)
@@ -74,7 +80,9 @@ def evaluate_codec(
     if check_bound:
         bound = codec.max_error()
         if bound is not None:
-            assert err <= bound * (1 + 1e-12) + 1e-300, (
+            # Point-wise check with per-element storage-dtype slack
+            # (see violates_bound).
+            assert not violates_bound(data, recon, bound), (
                 f"error bound violated: {err} > {bound}"
             )
     return CompressionResult(

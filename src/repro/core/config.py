@@ -67,6 +67,11 @@ class PipelineConfig:
     #: "process"); serial keeps the historical bit-identical in-loop
     #: behavior, parallel backends change wall-clock only.
     executor: str = "serial"
+    #: certify the written file on :meth:`TimestepSession.close`: every
+    #: written step is read back through the partition metadata and
+    #: asserted against the configured error bounds (raises
+    #: :class:`~repro.errors.VerificationError` on breach).
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if not EXTRA_SPACE_MIN <= self.extra_space_ratio <= EXTRA_SPACE_MAX:
@@ -86,6 +91,8 @@ class PipelineConfig:
             raise ConfigError(
                 f"executor must be one of {list(EXECUTOR_NAMES)}; got {self.executor!r}"
             )
+        if not isinstance(self.verify, bool):
+            raise ConfigError(f"verify must be a bool; got {self.verify!r}")
 
     @classmethod
     def from_weight(cls, performance_weight: float, **kwargs) -> "PipelineConfig":

@@ -110,8 +110,11 @@ class OffsetTable:
         orig = np.asarray(original_nbytes, dtype=np.float64)
         if pred.shape != orig.shape or pred.ndim != 2:
             raise ConfigError("predicted/original must be equal-shape 2-D arrays")
-        if np.any(pred <= 0) or np.any(orig <= 0):
-            raise ConfigError("sizes must be positive")
+        # A zero-size partition (empty rank share) legitimately has zero
+        # original bytes; its *predicted* stream is still positive (stream
+        # headers), which keeps every slot non-degenerate.
+        if np.any(pred <= 0) or np.any(orig < 0):
+            raise ConfigError("predicted sizes must be positive, originals non-negative")
         if base_offset < 0 or alignment <= 0:
             raise ConfigError("invalid base offset or alignment")
         ratios = orig / pred

@@ -99,7 +99,10 @@ def _field_datasets(
                     ),
                 ),
             )
-            grp.create_dataset(name, shape=global_shape, dtype=np.float32,
+            # The dataset dtype follows the data (float32/float64); the
+            # codec streams are self-describing either way, but the footer
+            # metadata must not promise float32 for a float64 field.
+            grp.create_dataset(name, shape=global_shape, dtype=fields[name].dtype,
                                layout=layout, dcpl=dcpl)
     comm.barrier()
     return {name: file[f"{group}/{name}"] for name in names}
@@ -364,7 +367,7 @@ class RealDriver:
         if comm.rank == 0:
             grp = file.require_group(group)
             for name in names:
-                grp.create_dataset(name, shape=global_shape, dtype=np.float32)
+                grp.create_dataset(name, shape=global_shape, dtype=fields[name].dtype)
         comm.barrier()
         overlapped = self.strategy.compress_write.overlap
         es = EventSet() if overlapped else None

@@ -42,6 +42,13 @@ def read_rank_partition(dataset: Dataset, rank: int) -> np.ndarray:
     """Read and decode one rank's partition of a declared dataset."""
     if dataset.layout != "declared":
         raise HDF5Error("parallel partition read requires a declared dataset")
+    if not 0 <= rank < dataset.n_partitions:
+        # A reader running wider than the writer (final-rank remainder of a
+        # mismatched decomposition) gets a clear answer, not a KeyError.
+        raise HDF5Error(
+            f"dataset {dataset.path!r} declares {dataset.n_partitions} "
+            f"partitions; rank {rank} has nothing to read"
+        )
     return dataset.read_partition_array(rank)
 
 
@@ -90,7 +97,13 @@ def parallel_read_pipeline(
             compressed_total += len(payload)
             ds = datasets[name]
             entry = ds.partition(comm.rank)
-            shape = tuple(b - a for a, b in entry.region) if entry.region else ()
+            # Zero-size regions keep their (empty) shape; region-less
+            # partitions decode against the stream's self-described shape.
+            shape = (
+                tuple(b - a for a, b in entry.region)
+                if entry.region is not None
+                else None
+            )
             from repro.hdf5.datatype import dtype_tag
 
             arrays[name] = ds.filters.invert(payload, shape, dtype_tag(ds.dtype))

@@ -189,6 +189,9 @@ class TimestepSession:
             fapl=FileAccessProps(async_io=True, async_workers=self.config.async_workers),
         )
         self.results: list[StepResult] = []
+        #: close-time certification report (populated by ``close(verify=True)``
+        #: or ``PipelineConfig(verify=True)``); None until then.
+        self.verification = None
         self._next_step = 0
         # Warm-start state: per-field per-rank actual sizes and per-rank
         # field orders from the most recent *compressing* step.
@@ -226,22 +229,55 @@ class TimestepSession:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def close(self) -> None:
+    def close(self, verify: bool | None = None) -> None:
         """Flush the footer, close the session file, and release any
         executor pool this session created from a config name
         (idempotent; caller-passed executor instances are left running).
+
+        ``verify`` (default: the config's ``verify`` flag) certifies the
+        file before handing it over: after the footer is flushed, the
+        *closed* file is reopened from its path and every written step is
+        read back through the serialized partition metadata — the same
+        path a later reader takes — and asserted against the session's
+        error bounds.  Reference data is regenerated deterministically
+        from the series, so nothing extra is retained.  The resulting
+        :class:`~repro.verify.certify.CertificationReport` is stored on
+        :attr:`verification`; a breach raises
+        :class:`~repro.errors.VerificationError` (the file is already
+        closed cleanly, so the offending evidence remains readable).
         """
+        do_verify = self.config.verify if verify is None else bool(verify)
+        was_open = not self.file.storage.closed
         try:
             self.file.close()
         finally:
             if self._owns_executor:
                 self.executor.close()
+        if do_verify and was_open and self._next_step > 0:
+            from repro.verify.certify import certify_session
+
+            # Certify the *closed* file from its path: the read path then
+            # exercises the serialized footer (partition tables, regions,
+            # dtypes) exactly as a later reader will, not the still-live
+            # in-memory metadata.
+            report = certify_session(
+                self.file.path,
+                self.series,
+                field_names=self.field_names,
+                steps=range(self._next_step),
+            )
+            self.verification = report
+            report.raise_on_failure()
 
     def __enter__(self) -> "TimestepSession":
         return self
 
-    def __exit__(self, *exc: object) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # When the body raised, skip close-time verification: certifying a
+        # partially written file would at best waste a full read-back and
+        # at worst replace the caller's real exception with a
+        # VerificationError about the half-finished state.
+        self.close(verify=False if exc_type is not None else None)
 
     @property
     def steps_written(self) -> int:

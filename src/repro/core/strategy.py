@@ -79,8 +79,10 @@ def predict_phase_costs(
     Shared by both drivers so Algorithm 1 sees identical task costs in the
     simulated and the real execution of one strategy.
     """
+    # Zero-size partitions (empty rank shares) cost nothing to compress;
+    # the bit-rate ratio is undefined there, so short-circuit instead.
     compress = [
-        tmodel.predict_seconds(int(n), 8.0 * float(p) / float(n))
+        tmodel.predict_seconds(int(n), 8.0 * float(p) / float(n)) if n else 0.0
         for n, p in zip(n_values, predicted_nbytes)
     ]
     write = [wmodel.predict_seconds_for_bytes(float(p)) for p in predicted_nbytes]

@@ -29,6 +29,12 @@ class ErrorBoundViolation(CompressionError):
     """
 
 
+class VerificationError(ReproError):
+    """Raised when end-to-end verification fails: a certified read-back
+    breaches its declared error bound, a cross-backend fingerprint differs,
+    or a written field cannot be read back at all."""
+
+
 class ModelingError(ReproError):
     """Raised by the prediction models (ratio / throughput / write-time)."""
 

@@ -383,12 +383,15 @@ class Dataset:
         if not self.filters.has_array_filter:
             raise HDF5Error("declared dataset has no array filter to decode with")
         entry = self.partition(index)
+        # Region-less partitions decode against the stream's self-described
+        # shape (shape=None skips the cross-check); a recorded region —
+        # including a zero-size one — is verified exactly.
         shape = (
             tuple(b - a for a, b in entry.region)
-            if entry.region
+            if entry.region is not None
             else None
         )
-        data = self.filters.invert(payload, shape or (), dtype_tag(self.dtype))
+        data = self.filters.invert(payload, shape, dtype_tag(self.dtype))
         return data
 
     def _read_declared(self) -> np.ndarray:

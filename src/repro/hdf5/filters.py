@@ -173,17 +173,27 @@ class FilterPipeline:
             payload = _lookup(spec.filter_id).apply(payload, spec.options)
         return payload
 
-    def invert(self, payload: bytes, shape: tuple[int, ...], dtype_str: str) -> np.ndarray:
-        """Run the pipeline backward: stored chunk bytes -> ndarray."""
+    def invert(
+        self, payload: bytes, shape: tuple[int, ...] | None, dtype_str: str
+    ) -> np.ndarray:
+        """Run the pipeline backward: stored chunk bytes -> ndarray.
+
+        ``shape=None`` skips the shape cross-check and trusts the array
+        filter's self-describing stream (used when a declared partition
+        carries no region metadata); byte-only pipelines always need the
+        shape to reconstruct the array.
+        """
         specs = list(self.specs)
         array_spec = specs.pop(0) if self.has_array_filter else None
         for spec in reversed(specs):
             payload = _lookup(spec.filter_id).invert(payload, spec.options)
         if array_spec is not None:
             data = _lookup(array_spec.filter_id).invert(payload, array_spec.options)
-            if tuple(data.shape) != tuple(shape):
+            if shape is not None and tuple(data.shape) != tuple(shape):
                 raise FilterError("array filter returned wrong shape")
             return data
+        if shape is None:
+            raise FilterError("byte-only pipeline cannot infer the array shape")
         dt = dtype_from_tag(dtype_str)
         expected = int(np.prod(shape)) * dt.itemsize
         if len(payload) != expected:

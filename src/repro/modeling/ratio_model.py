@@ -58,12 +58,14 @@ class RatioPrediction:
 
     @property
     def bit_rate(self) -> float:
-        """Predicted compressed bits per value."""
+        """Predicted compressed bits per value (0 for empty partitions)."""
+        if self.n_values == 0:
+            return 0.0
         return 8.0 * self.predicted_nbytes / self.n_values
 
     @property
     def ratio(self) -> float:
-        """Predicted compression ratio."""
+        """Predicted compression ratio (0 for empty partitions)."""
         return self.n_values * self.bytes_per_value / self.predicted_nbytes
 
 
@@ -98,6 +100,20 @@ class RatioQualityModel:
 
     def predict(self, data: np.ndarray) -> RatioPrediction:
         """Predict the compressed stream size of ``data``."""
+        if data.size == 0:
+            # A zero-size partition (empty rank share of a skewed domain
+            # decomposition) has an exact, data-independent stream size:
+            # compressing the empty array is O(1), so predict by doing it.
+            nbytes = len(self.codec.compress(np.zeros(data.shape, dtype=data.dtype)))
+            return RatioPrediction(
+                n_values=0,
+                bytes_per_value=data.dtype.itemsize,
+                predicted_nbytes=nbytes,
+                huffman_bits_per_value=0.0,
+                lossless_factor=1.0,
+                outlier_fraction=0.0,
+                n_unique_symbols=0,
+            )
         stats = sample_partition_stats(
             data,
             bound=self.codec.quantizer.requested_bound,

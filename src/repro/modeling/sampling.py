@@ -74,7 +74,9 @@ def sample_partition_stats(
         raise ModelingError("radius must be >= 2")
     quantizer = LinearQuantizer(bound, mode)
     spec = quantizer.resolve(data)
-    block = tuple(min(block_edge, s) for s in data.shape)
+    # max(1, ...): a zero-length axis must not produce a zero-width block
+    # (division by zero in the tiling); it tiles to zero blocks either way.
+    block = tuple(max(1, min(block_edge, s)) for s in data.shape)
     slices = sample_block_slices(data.shape, block, fraction)
     if not slices:
         raise ModelingError("empty partition")

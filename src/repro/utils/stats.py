@@ -55,6 +55,46 @@ def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
     return float(np.max(diff))
 
 
+def violates_bound(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    bound: float,
+    rtol: float = 1e-12,
+) -> bool:
+    """Point-wise bound check with storage-dtype representability slack.
+
+    An error-bounded codec honors its bound exactly in float64, but a
+    float32 dataset stores the correctly *rounded* grid value — which can
+    sit up to half a float32 ulp of *that point's* magnitude beyond the
+    bound.  A stream cannot promise tighter than its storage dtype
+    represents, so the bound oracles (the certification engine,
+    :func:`evaluate_codec`) allow exactly that much, per element — never
+    the array-wide maximum magnitude, which would let high-magnitude data
+    smuggle genuine violations through.  Found by the scenario fuzzer at
+    eb ≈ 1e-5 on float32 data; far below any genuine pipeline failure.
+
+    On top of the storage term, the quantizer's float64 arithmetic
+    (quotient and product rounding in ``x/(2eb)`` and ``code*2eb``)
+    contributes up to a few float64 ulps of the value's magnitude —
+    measurable when ``bound`` is many orders below the data magnitude
+    (hypothesis found it at |x| ≈ 1.4e3, eb = 1e-6).
+
+    Returns True when any element's error exceeds
+    ``bound * (1 + rtol) + (0.5 * eps(dtype) + 4 * eps(float64)) * |recon|``.
+    """
+    if original.shape != reconstructed.shape:
+        raise ValueError("shape mismatch")
+    if original.size == 0:
+        return False
+    recon64 = reconstructed.astype(np.float64)
+    diff = np.abs(original.astype(np.float64) - recon64)
+    ulp = 4.0 * float(np.finfo(np.float64).eps)
+    if np.issubdtype(reconstructed.dtype, np.floating):
+        ulp += 0.5 * float(np.finfo(reconstructed.dtype).eps)
+    allow = bound * (1.0 + rtol) + ulp * np.abs(recon64) + 1e-300
+    return bool(np.any(diff > allow))
+
+
 def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
     """Peak signal-to-noise ratio in dB (``inf`` for exact reconstruction)."""
     err = mse(original, reconstructed)

@@ -1,9 +1,9 @@
-"""Entry point: ``python -m repro.bench`` runs the microbenchmark CLI."""
+"""Entry point for ``python -m repro.verify``."""
 
-from repro.bench.cli import main
+from repro.verify.cli import main
 
 # Guarded: the process executor backend re-imports the main module in its
 # spawn-started workers; without the guard every worker would re-run the
-# whole bench suite.
+# whole verification suite.
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -1,0 +1,177 @@
+"""``python -m repro.verify`` — the end-to-end verification suite.
+
+Three pillars, one schema-versioned artifact:
+
+1. **Round-trip certification** — every requested scenario × strategy is
+   written through the production driver on the serial backend and read
+   back; every field must satisfy the error bound its own file metadata
+   declares (overflow-pressure scenarios run at the tightest extra-space
+   ratio so the repair path carries real traffic).  The registered codec
+   families get a direct compress→decompress sweep on top.
+2. **Differential parity** — the canonical workload through every
+   strategy × executor backend; finished-file fingerprints must agree
+   across backends and the serial output must certify.
+3. **Scenario fuzzing** — seeded perturbations of the named regimes
+   (fields/ranks/shape/dtype/bound/extra-space), each written and
+   certified, failures shrunk to minimal repro configs.
+
+Usage::
+
+    python -m repro.verify --quick               # CI smoke (seconds)
+    python -m repro.verify                       # full sweep
+    python -m repro.verify --quick \\
+        --scenarios balanced --strategies reorder --fuzz-cases 2
+
+Exit status is non-zero on any bound violation, fingerprint mismatch,
+codec round-trip failure, or fuzz failure — the CI ``verify-smoke`` job
+gates on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+
+from repro.bench.harness import format_table, results_dir
+from repro.core.config import EXTRA_SPACE_MIN, PipelineConfig
+from repro.core.scenarios import get_scenario, scenario_names
+from repro.core.strategy import registered_strategies
+from repro.exec import EXECUTOR_NAMES
+from repro.verify.certify import CertificationReport, certify, certify_codecs
+from repro.verify.fuzz import fuzz
+from repro.verify.parity import CANONICAL_SCENARIO, differential_parity
+from repro.verify.report import build_report, save_report
+from repro.verify.workloads import reference_fields, write_scenario_file
+
+
+def _scenario_config(scenario_name: str) -> PipelineConfig:
+    """Per-scenario pipeline config for the certification matrix.
+
+    Overflow-pressure regimes run at the tightest supported extra-space
+    ratio so slots genuinely overflow and the certified read path has to
+    reassemble tails.
+    """
+    sc = get_scenario(scenario_name)
+    if sc.overflow_pressure:
+        return PipelineConfig(extra_space_ratio=EXTRA_SPACE_MIN)
+    return PipelineConfig()
+
+
+def run_certification(
+    scenarios: "list[str]",
+    strategies: "list[str]",
+    seed: int,
+) -> dict[str, CertificationReport]:
+    """The scenario × strategy certification matrix on the serial backend."""
+    out: dict[str, CertificationReport] = {}
+    for scenario in scenarios:
+        arrays = get_scenario(scenario).array_payload(seed=seed)
+        reference = reference_fields(arrays)
+        config = _scenario_config(scenario)
+        for strategy in strategies:
+            with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+                path = os.path.join(tmp, "cert.phd5")
+                write_scenario_file(arrays, strategy, path, config=config)
+                out[f"{scenario}/{strategy}"] = certify(path, reference)
+    return out
+
+
+def _parse_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="End-to-end verification: certification / parity / fuzzing.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke sizes (seconds, not minutes)")
+    parser.add_argument("--scenarios", default=",".join(scenario_names()),
+                        help="comma-separated scenario names (default: all)")
+    parser.add_argument("--strategies", default=",".join(registered_strategies()),
+                        help="comma-separated strategy names (default: all)")
+    parser.add_argument("--backends", default=None,
+                        help="comma-separated executor backends for the parity "
+                             "pillar (default: serial,thread quick; all full)")
+    parser.add_argument("--fuzz-cases", type=int, default=None,
+                        help="generated scenario-fuzz cases (default: 4 quick, "
+                             "12 full; 0 disables)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for payload generation and fuzzing")
+    parser.add_argument("--skip-parity", action="store_true",
+                        help="skip the strategy x backend parity pillar")
+    parser.add_argument("--skip-codecs", action="store_true",
+                        help="skip the registered-codec round-trip sweep")
+    parser.add_argument("--out", default=None,
+                        help="output directory for VERIFY_<sha>.json "
+                             "(default: results/)")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    scenarios = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+    if args.backends is not None:
+        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    else:
+        backends = ["serial", "thread"] if args.quick else list(EXECUTOR_NAMES)
+    n_fuzz = args.fuzz_cases if args.fuzz_cases is not None else (4 if args.quick else 12)
+
+    certifications = run_certification(scenarios, strategies, args.seed)
+    parity = (
+        None
+        if args.skip_parity
+        else differential_parity(
+            CANONICAL_SCENARIO, strategies=strategies,
+            backends=backends, seed=args.seed,
+        )
+    )
+    codecs = None if args.skip_codecs else certify_codecs(seed=args.seed)
+    fuzz_report = (
+        fuzz(n_fuzz, seed=args.seed, strategies=strategies, bases=scenarios)
+        if n_fuzz > 0
+        else None
+    )
+
+    report = build_report(
+        certifications, parity, codecs, fuzz_report,
+        quick=args.quick, seed=args.seed,
+    )
+    out_dir = args.out or results_dir()
+    path = save_report(report, out_dir)
+
+    rows = [
+        {
+            "cell": key,
+            "fields": len(rep.certificates),
+            "max_error": max((c.max_error for c in rep.certificates), default=0.0),
+            "overflow_B": rep.total_overflow_nbytes,
+            "passed": rep.passed,
+        }
+        for key, rep in sorted(certifications.items())
+    ]
+    print(format_table(
+        f"repro.verify ({'quick' if args.quick else 'full'})", rows
+    ))
+    if parity is not None:
+        state = "identical" if not parity.mismatches else f"MISMATCH {parity.mismatches}"
+        print(f"parity [{parity.scenario}] across {backends}: {state}")
+    if codecs is not None:
+        bad = [c for c in codecs if not c.passed]
+        print(f"codec round-trips: {len(codecs) - len(bad)}/{len(codecs)} passed")
+    if fuzz_report is not None:
+        print(
+            f"fuzz: {len(fuzz_report.cases)} cases, "
+            f"{len(fuzz_report.failures)} failures"
+        )
+    print(f"\nwrote {path}")
+    if not report["passed"]:
+        print(f"\nVERIFICATION FAILED ({len(report['failures'])} problems):")
+        for line in report["failures"]:
+            print(" ", line)
+        return 1
+    print("verification passed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    raise SystemExit(main())

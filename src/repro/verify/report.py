@@ -1,0 +1,91 @@
+"""The schema-versioned verification artifact (``VERIFY_<sha>.json``).
+
+Mirrors the bench artifact convention (``repro-bench/1``): one JSON file
+per run, a ``schema`` field bumped on shape changes, the git sha and host
+recorded, and a top-level ``passed`` flag plus flat ``failures`` list so
+CI can gate without parsing the pillar-specific sections.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Mapping
+
+from repro.bench.cli import git_sha
+from repro.verify.certify import CertificationReport, CodecCertificate
+from repro.verify.fuzz import FuzzReport
+from repro.verify.parity import ParityResult
+
+#: Verify artifact schema (bump on any shape change).
+SCHEMA = "repro-verify/1"
+
+
+def build_report(
+    certifications: Mapping[str, CertificationReport],
+    parity: ParityResult | None,
+    codecs: "list[CodecCertificate] | None",
+    fuzz: FuzzReport | None,
+    quick: bool,
+    seed: int,
+) -> dict:
+    """Assemble the schema-versioned artifact from the pillar results.
+
+    ``certifications`` is keyed ``<scenario>/<strategy>``.  Any pillar may
+    be None (skipped); the ``passed`` flag covers only what ran.
+    """
+    failures: list[str] = []
+    cert_json: dict[str, dict] = {}
+    for key, report in sorted(certifications.items()):
+        cert_json[key] = report.to_json()
+        for c in report.violations:
+            failures.append(
+                f"certification {key}: {c.field} max_error={c.max_error:.3e} "
+                f"bound={c.bound:.3e}" + (f" ({c.error})" if c.error else "")
+            )
+    if parity is not None:
+        for s in parity.mismatches:
+            failures.append(
+                f"parity: fingerprint mismatch for {s!r}: {parity.fingerprints(s)}"
+            )
+        for s in parity.bound_violations:
+            failures.append(f"parity: bound violation for strategy {s!r}")
+    if codecs is not None:
+        for c in codecs:
+            if not c.passed:
+                failures.append(
+                    f"codec {c.codec} [{c.params}]: "
+                    + (c.error or f"max_error={c.max_error:.3e}")
+                )
+    if fuzz is not None:
+        for f in fuzz.failures:
+            failures.append(f"fuzz {f.minimal.label}: {f.error}")
+    return {
+        "schema": SCHEMA,
+        "git_sha": git_sha(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick": quick,
+        "seed": seed,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "certification": cert_json,
+        "parity": parity.to_json() if parity is not None else None,
+        "codecs": [c.to_json() for c in codecs] if codecs is not None else None,
+        "fuzz": fuzz.to_json() if fuzz is not None else None,
+        "passed": not failures,
+        "failures": failures,
+    }
+
+
+def save_report(report: dict, out_dir: str) -> str:
+    """Write the artifact as ``VERIFY_<sha>.json``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"VERIFY_{report['git_sha']}.json")
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+    return path

@@ -1,0 +1,64 @@
+"""Shared write-side harness for the verification pillars.
+
+Certification, differential parity, and the scenario fuzzer all need the
+same primitive: take one scenario's real-array payload, push it through a
+registered strategy on some executor backend, and land a finished PHD5
+file on disk.  Centralizing it keeps the three pillars exercising the
+*production* write path (RealDriver + SPMD ranks + async VOL), not a
+test-only shortcut.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RankWriteStats, RealDriver
+from repro.core.scenarios import ScenarioArrays
+from repro.exec import Executor
+from repro.hdf5.file import File
+from repro.hdf5.properties import FileAccessProps
+
+
+def write_scenario_file(
+    arrays: ScenarioArrays,
+    strategy: str,
+    path: str,
+    config: PipelineConfig | None = None,
+    executor: "Executor | str | None" = None,
+    dtype: "np.dtype | None" = None,
+) -> list[RankWriteStats]:
+    """Write one scenario payload through a strategy into ``path``.
+
+    ``dtype`` optionally casts the payload (the fuzzer sweeps float64);
+    the returned per-rank stats expose predicted/actual/overflow bytes.
+    """
+    driver = RealDriver(strategy, config=config, executor=executor)
+    codecs = arrays.codecs if driver.strategy.compresses else None
+    payload = arrays.payload
+    if dtype is not None:
+        dt = np.dtype(dtype)
+        payload = [
+            ({n: np.ascontiguousarray(a, dtype=dt) for n, a in local.items()}, region)
+            for local, region in payload
+        ]
+    f = File(path, "w", fapl=FileAccessProps(async_io=True, async_workers=2))
+
+    def rank_fn(comm):
+        local, region = payload[comm.rank]
+        return driver.run(comm, f, local, region, arrays.shape, codecs)
+
+    try:
+        return driver.executor.map_ranks(arrays.nranks, rank_fn)
+    finally:
+        f.close()
+
+
+def reference_fields(
+    arrays: ScenarioArrays, dtype: "np.dtype | None" = None
+) -> dict[str, np.ndarray]:
+    """The global reference arrays certification compares against."""
+    if dtype is None:
+        return dict(arrays.fields)
+    dt = np.dtype(dtype)
+    return {n: np.asarray(a, dtype=dt) for n, a in arrays.fields.items()}
