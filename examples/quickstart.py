@@ -1,12 +1,14 @@
 #!/usr/bin/env python
-"""Quickstart: compress a field, predict its size, write it in parallel.
+"""Quickstart: compress a field, predict its size, write it via repro.open.
 
 Walks the three layers of the library in ~60 lines:
 
 1. the SZ-style error-bounded compressor;
 2. the predictive models (size prediction *before* compressing);
-3. the parallel predictive-write pipeline on 4 ranks against a shared
-   PHD5 file, read back and verified against the error bound.
+3. the h5py-style facade: ``repro.open()`` + ``ds[...] = arr`` runs the
+   full predictive pipeline — predicted offsets, extra space, overlapped
+   async writes, overflow repair — on 4 thread ranks against a shared
+   PHD5 file, then reads back within the error bounds.
 
 Run:  python examples/quickstart.py
 """
@@ -16,13 +18,9 @@ import tempfile
 
 import numpy as np
 
-from repro.compression import SZCompressor, evaluate_codec
-from repro.core import PipelineConfig
-from repro.core.pipeline import predictive_write_pipeline
-from repro.data import NyxGenerator, grid_partition
-from repro.hdf5 import File, FileAccessProps
-from repro.modeling import RatioQualityModel
-from repro.mpi import run_spmd
+import repro
+from repro.compression import evaluate_codec
+from repro.data import NyxGenerator
 
 
 def main() -> None:
@@ -31,48 +29,46 @@ def main() -> None:
     data = gen.field("temperature")
 
     # --- 1. error-bounded lossy compression --------------------------------
-    codec = SZCompressor(bound=gen.error_bound("temperature"), mode="abs")
+    codec = repro.SZCompressor(bound=gen.error_bound("temperature"), mode="abs")
     result = evaluate_codec(codec, data)
     print(f"[1] SZ compression: ratio={result.ratio:.1f}x  "
           f"bit-rate={result.bit_rate:.2f} bits/value  "
           f"max error={result.max_error:.3g} (bound {codec.max_error():.3g})")
 
     # --- 2. size prediction without compressing ----------------------------
+    from repro.modeling import RatioQualityModel
+
     prediction = RatioQualityModel(codec).predict(data)
     actual = len(codec.compress(data))
     print(f"[2] predicted size={prediction.predicted_nbytes}B  actual={actual}B  "
           f"error={abs(prediction.predicted_nbytes - actual) / actual:.1%}")
 
-    # --- 3. parallel predictive write to a shared file ---------------------
-    nranks = 4
+    # --- 3. transparent predictive writes through the facade ---------------
     names = list(gen.field_names)
-    parts = grid_partition(shape, nranks)
-    codecs = {n: SZCompressor(bound=gen.error_bound(n), mode="abs") for n in names}
     path = os.path.join(tempfile.mkdtemp(), "snapshot.phd5")
-    f = File(path, "w", fapl=FileAccessProps(async_io=True, async_workers=4))
-
-    def rank_fn(comm):
-        p = parts[comm.rank]
-        local = {n: np.ascontiguousarray(p.extract(gen.field(n))) for n in names}
-        region = [[s.start, s.stop] for s in p.slices]
-        return predictive_write_pipeline(
-            comm, f, local, region, shape, codecs, config=PipelineConfig()
-        )
-
-    stats = run_spmd(nranks, rank_fn)
-    f.close()
-    print(f"[3] wrote {os.path.getsize(path)} bytes to {path}")
-    for s in stats:
-        print(f"    rank {s.rank}: order={s.order[:3]}...  "
-              f"compressed={s.total_actual}B  overflow={s.total_overflow}B")
-
-    with File(path, "r") as fr:
+    with repro.open(path, "w", nranks=4) as f:
         for n in names:
-            out = fr[f"fields/{n}"].read()
+            ds = f.create_dataset(f"fields/{n}", shape, np.float32,
+                                  error_bound=gen.error_bound(n))
+            ds[...] = gen.field(n)  # predict -> plan -> compress -> write
+        f.flush()  # one collective multi-field run (also implicit on close)
+        stats = f["fields/" + names[0]].stats
+        print(f"[3] wrote {len(names)} fields through the predictive pipeline")
+        for s in stats:
+            print(f"    rank {s.rank}: order={s.order[:3]}...  "
+                  f"compressed={s.total_actual}B  overflow={s.total_overflow}B")
+        report = f.verify()  # certify against the staged reference data
+        assert report.passed, report.violations
+    print(f"[3] file size: {os.path.getsize(path)} bytes")
+
+    with repro.open(path) as fr:
+        for n in names:
+            out = fr[f"fields/{n}"][...]
             err = float(np.max(np.abs(out.astype(np.float64) - gen.field(n))))
             assert err <= gen.error_bound(n) * (1 + 1e-6)
+        block = fr[f"fields/{names[0]}"][8:24, :, :]  # partition-aware read
         print(f"[3] verified: all {len(names)} fields read back within their "
-              "error bounds")
+              f"error bounds (partial read {block.shape} too)")
 
 
 if __name__ == "__main__":

@@ -15,11 +15,27 @@ subpackages hold the full system:
 * :mod:`repro.core` — the paper's contribution: predictive offsets, extra
   space, overflow handling, compression-order optimization, and the four
   write strategies.
+* :mod:`repro.api` — the h5py-style facade: :func:`repro.open` routes
+  every dataset write through the predictive engine transparently.
 * :mod:`repro.bench` — experiment harness regenerating every table/figure.
 """
 
 from repro._version import __version__
+from repro.api import Dataset, File, Group, open
 from repro.compression import SZCompressor, ZFPCompressor
+from repro.core.config import PipelineConfig
+from repro.core.session import TimestepSession
 from repro.errors import ReproError
 
-__all__ = ["__version__", "SZCompressor", "ZFPCompressor", "ReproError"]
+__all__ = [
+    "__version__",
+    "open",
+    "File",
+    "Group",
+    "Dataset",
+    "PipelineConfig",
+    "TimestepSession",
+    "SZCompressor",
+    "ZFPCompressor",
+    "ReproError",
+]

@@ -49,8 +49,11 @@ SCHEMA = "repro-bench/1"
 #: latency-dominated many-small-fields, and incompressible noise.
 BENCH_SCENARIOS = ("balanced", "many-small-fields", "incompressible")
 
-#: Microbenchmark names in presentation order.
-BENCHES = ("plan", "compress", "write", "tune")
+#: Microbenchmark names in presentation order.  ``facade`` is the same
+#: multi-rank write as ``write`` but driven through ``repro.open`` — the
+#: artifact's ``facade_overhead`` section is their serial-cell ratio, the
+#: number that proves the h5py-style surface costs <5% over the driver.
+BENCHES = ("plan", "compress", "write", "facade", "tune")
 
 
 @dataclass(frozen=True)
@@ -178,6 +181,33 @@ def run_write(ex: Executor, arrays) -> str:
             return digest([hashlib.sha256(fh.read()).digest()])
 
 
+def setup_facade(sc: Scenario, quick: bool):
+    return _payload(sc, quick)
+
+
+def run_facade(ex: Executor, arrays) -> str:
+    """The multi-rank write through the ``repro.open`` facade.
+
+    Identical payload, strategy, and decomposition to :func:`run_write`
+    (each payload block lands as one ``ds[region] = block`` assignment, so
+    the staged blocks become the SPMD ranks); the measured difference is
+    pure facade overhead — staging, batching, settings resolution, and
+    metadata attrs.  The write protocol itself is
+    :func:`repro.verify.workloads.write_scenario_file_facade`, shared with
+    the verify pillar so bench and certification can never drift apart.
+    """
+    from repro.verify.workloads import write_scenario_file_facade
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        path = os.path.join(tmp, "bench.phd5")
+        write_scenario_file_facade(
+            arrays, "reorder", path,
+            config=PipelineConfig(async_workers=2), executor=ex,
+        )
+        with open(path, "rb") as fh:
+            return digest([hashlib.sha256(fh.read()).digest()])
+
+
 def setup_tune(sc: Scenario, quick: bool):
     nranks, nfields, nsteps = (16, 6, 3) if quick else (64, 10, 6)
     scaled = sc.scaled(nranks=nranks, nfields=nfields)
@@ -196,6 +226,7 @@ _BENCH_FNS: dict[str, tuple[Callable, Callable]] = {
     "plan": (setup_plan, run_plan),
     "compress": (setup_compress, run_compress),
     "write": (setup_write, run_write),
+    "facade": (setup_facade, run_facade),
     "tune": (setup_tune, run_tune),
 }
 
@@ -285,6 +316,12 @@ def build_report(cells: "list[BenchCell]", quick: bool, repeats: int) -> dict:
                 "per_backend": prints,
                 "identical": len(set(prints.values())) <= 1,
             }
+    facade_overhead: dict[str, float] = {}
+    for scenario in sorted({c.scenario for c in cells}):
+        direct = idx.get(("write", scenario, "serial"))
+        facade = idx.get(("facade", scenario, "serial"))
+        if direct is not None and facade is not None and direct.seconds > 0:
+            facade_overhead[scenario] = facade.seconds / direct.seconds - 1.0
     return {
         "schema": SCHEMA,
         "git_sha": git_sha(),
@@ -299,6 +336,9 @@ def build_report(cells: "list[BenchCell]", quick: bool, repeats: int) -> dict:
         "cells": [c.to_json() for c in cells],
         "speedups": speedups,
         "fingerprints": fingerprints,
+        #: repro.open wall-clock over the direct driver path, per scenario
+        #: (serial cells; 0.03 = 3% slower).  Target: < 0.05.
+        "facade_overhead": facade_overhead,
         "strategy_choices": {
             scenario: idx[("tune", scenario, "serial")].fingerprint
             for scenario in sorted({c.scenario for c in cells})
@@ -411,6 +451,11 @@ def main(argv=None) -> int:
         for c in cells
     ]
     print(format_table(f"repro.bench ({'quick' if args.quick else 'full'})", rows))
+    if report["facade_overhead"]:
+        parts = ", ".join(
+            f"{sc}: {ov:+.1%}" for sc, ov in sorted(report["facade_overhead"].items())
+        )
+        print(f"\nfacade overhead vs direct driver (serial): {parts}")
     print(f"\nwrote {path}")
 
     status = 0

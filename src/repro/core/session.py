@@ -127,11 +127,16 @@ class TimestepSession:
         down by :meth:`close`; pass an :class:`~repro.exec.Executor`
         instance to share one pool across components under the caller's
         lifetime.
+    file:
+        Stream into an already-open writable :class:`~repro.hdf5.file.File`
+        instead of creating one at ``path`` (the facade's shared engine
+        handle).  The session never closes a caller-provided file, and
+        close-time verification certifies it through the live handle.
     """
 
     def __init__(
         self,
-        path: str,
+        path: str | None,
         series: TimestepSeries,
         nranks: int = 4,
         *,
@@ -142,9 +147,12 @@ class TimestepSession:
         machine_name: str = "bebop",
         warm_start: bool = True,
         executor: "str | Executor | None" = None,
+        file: File | None = None,
     ) -> None:
         if nranks <= 0:
             raise ConfigError("nranks must be positive")
+        if path is None and file is None:
+            raise ConfigError("either a path or an open file is required")
         self.series = series
         self.nranks = int(nranks)
         self.config = config or PipelineConfig()
@@ -184,10 +192,19 @@ class TimestepSession:
         # alternate, so both decompositions are kept.
         self._grid_partitions = grid_partition(series.shape, self.nranks)
         self._slab_partitions = slab_partition(series.shape, self.nranks)
-        self.file = File(
-            path, "w",
-            fapl=FileAccessProps(async_io=True, async_workers=self.config.async_workers),
-        )
+        if file is not None:
+            # A caller-provided file (the facade's shared engine handle):
+            # the session streams into it but never closes it — lifecycle
+            # and close-time certification stay with the owner.
+            file.require_writable()
+            self.file = file
+            self._owns_file = False
+        else:
+            self.file = File(
+                path, "w",
+                fapl=FileAccessProps(async_io=True, async_workers=self.config.async_workers),
+            )
+            self._owns_file = True
         self.results: list[StepResult] = []
         #: close-time certification report (populated by ``close(verify=True)``
         #: or ``PipelineConfig(verify=True)``); None until then.
@@ -249,7 +266,8 @@ class TimestepSession:
         do_verify = self.config.verify if verify is None else bool(verify)
         was_open = not self.file.storage.closed
         try:
-            self.file.close()
+            if self._owns_file:
+                self.file.close()
         finally:
             if self._owns_executor:
                 self.executor.close()
@@ -259,9 +277,10 @@ class TimestepSession:
             # Certify the *closed* file from its path: the read path then
             # exercises the serialized footer (partition tables, regions,
             # dtypes) exactly as a later reader will, not the still-live
-            # in-memory metadata.
+            # in-memory metadata.  A caller-owned file is still open here,
+            # so it is certified through its live handle instead.
             report = certify_session(
-                self.file.path,
+                self.file.path if self._owns_file else self.file,
                 self.series,
                 field_names=self.field_names,
                 steps=range(self._next_step),

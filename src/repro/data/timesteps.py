@@ -76,3 +76,81 @@ class TimestepSeries:
     def __iter__(self):
         for step in range(self.n_steps):
             yield self.snapshot_generator(step)
+
+
+class ArraySnapshot:
+    """One step of an :class:`ArraySeries`: user arrays behind the same
+    generator protocol :class:`~repro.data.nyx.NyxGenerator` speaks
+    (``field_names`` / ``field`` / ``error_bound``)."""
+
+    def __init__(self, fields: dict[str, np.ndarray], bounds: dict[str, float]) -> None:
+        self._fields = dict(fields)
+        self._bounds = dict(bounds)
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        """Field names in insertion order."""
+        return tuple(self._fields)
+
+    def field(self, name: str) -> np.ndarray:
+        """The step's array for one field."""
+        return self._fields[name]
+
+    def error_bound(self, name: str) -> float:
+        """The absolute error bound declared for one field."""
+        return self._bounds[name]
+
+
+class ArraySeries:
+    """A snapshot series fed by the caller instead of a generator.
+
+    :class:`TimestepSeries` regenerates snapshots deterministically from a
+    seed; :class:`ArraySeries` is the push-model counterpart the facade's
+    ``File.append_step`` uses — the application hands over each step's
+    arrays, and the retained snapshots double as the reference data for
+    close-time certification.  It grows as steps are appended, so
+    :class:`~repro.core.session.TimestepSession`'s ``step < len(series)``
+    bound always admits exactly the steps that exist.
+    """
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        field_names: Sequence[str],
+        bounds: dict[str, float],
+    ) -> None:
+        if not field_names:
+            raise ValueError("at least one field name is required")
+        self.shape = tuple(int(s) for s in shape)
+        self.field_names = tuple(field_names)
+        self.bounds = dict(bounds)
+        missing = set(self.field_names) - set(self.bounds)
+        if missing:
+            raise ValueError(f"missing error bounds for {sorted(missing)}")
+        self._steps: list[ArraySnapshot] = []
+
+    def append(self, fields: dict[str, np.ndarray]) -> int:
+        """Append one step's arrays; returns the new step index."""
+        if set(fields) != set(self.field_names):
+            raise ValueError(
+                f"step fields {sorted(fields)} != series fields "
+                f"{sorted(self.field_names)}"
+            )
+        for name, arr in fields.items():
+            if tuple(arr.shape) != self.shape:
+                raise ValueError(
+                    f"field {name!r} shape {tuple(arr.shape)} != series shape "
+                    f"{self.shape}"
+                )
+        ordered = {name: np.asarray(fields[name]) for name in self.field_names}
+        self._steps.append(ArraySnapshot(ordered, self.bounds))
+        return len(self._steps) - 1
+
+    def snapshot_generator(self, step: int) -> ArraySnapshot:
+        """The retained snapshot for one appended step."""
+        if not 0 <= step < len(self._steps):
+            raise IndexError(f"step {step} out of range [0, {len(self._steps)})")
+        return self._steps[step]
+
+    def __len__(self) -> int:
+        return len(self._steps)

@@ -67,6 +67,23 @@ class InvalidStateError(HDF5Error):
     """Raised when an operation is attempted on a closed or torn-down object."""
 
 
+class ReadOnlyError(InvalidStateError):
+    """Raised when a write is attempted on a file opened in read mode."""
+
+
+class ShapeMismatchError(HDF5Error):
+    """Raised when assigned data does not match the selected region's shape."""
+
+
+class UnwrittenDataError(InvalidStateError):
+    """Raised when reading a dataset that has never been written."""
+
+
+class IncompleteWriteError(InvalidStateError):
+    """Raised when a staged predictive write does not cover the full dataset
+    by the time it must flush (facade close, or a read of the dataset)."""
+
+
 class RuntimeLayerError(ReproError):
     """Base error for the SPMD thread runtime."""
 
@@ -89,3 +106,7 @@ class OverflowHandlingError(ReproError):
 
 class ConfigError(ReproError, ValueError):
     """Raised for invalid user-facing configuration values."""
+
+
+class UnknownStrategyError(ConfigError):
+    """Raised when a requested write-strategy name is not registered."""

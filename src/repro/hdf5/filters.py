@@ -161,6 +161,18 @@ class FilterPipeline:
         """True if the first stage consumes the ndarray itself."""
         return bool(self.specs) and _lookup(self.specs[0].filter_id).kind == "array"
 
+    def find(self, filter_id: int) -> FilterSpec | None:
+        """The first spec registered under ``filter_id``, or None.
+
+        The certification engine, the facade, and the inspector all
+        recover a dataset's declared error bound this way — one lookup,
+        not three hand-rolled loops.
+        """
+        for spec in self.specs:
+            if spec.filter_id == filter_id:
+                return spec
+        return None
+
     def apply(self, data: np.ndarray) -> bytes:
         """Run the pipeline forward: ndarray -> stored chunk bytes."""
         specs = list(self.specs)

@@ -3,15 +3,19 @@
 The HDF5 ecosystem ships ``h5ls``/``h5dump``/``h5stat``; this module is
 their PHD5 counterpart::
 
-    python -m repro.tools.inspect ls    snapshot.phd5        # object tree
-    python -m repro.tools.inspect stat  snapshot.phd5        # storage stats
-    python -m repro.tools.inspect dump  snapshot.phd5 fields/temperature
-    python -m repro.tools.inspect parts snapshot.phd5 fields/temperature
+    python -m repro.tools.inspect ls      snapshot.phd5      # object tree
+    python -m repro.tools.inspect stat    snapshot.phd5      # storage stats
+    python -m repro.tools.inspect dump    snapshot.phd5 fields/temperature
+    python -m repro.tools.inspect parts   snapshot.phd5 fields/temperature
+    python -m repro.tools.inspect summary snapshot.phd5      # facade view
 
 ``stat`` reports per-dataset compression/reservation/overflow accounting —
 the quantities the paper's extra-space mechanism trades — and ``parts``
 prints a declared dataset's partition table (offsets, reserved vs actual,
-overflow redirections).
+overflow redirections).  ``summary`` reads the file through the
+:mod:`repro.api` facade and pretty-prints what the facade recorded: one
+row per dataset with its declared error bound, write strategy, SPMD
+width, step count (time-axis datasets), and compression ratio.
 """
 
 from __future__ import annotations
@@ -124,6 +128,50 @@ def cmd_parts(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_summary(args: argparse.Namespace) -> int:
+    """Pretty-print a file the way the repro.open facade sees it."""
+    from repro import api
+    from repro.core.session import step_group
+
+    with api.open(args.path, "r") as f:
+        engine = f._engine
+        facade = bool(engine.root.attrs.get("repro:facade"))
+        steps = f.steps_written
+        origin = "repro.open facade" if facade else "engine driver"
+        print(f"{args.path}: {origin}-written"
+              + (f", {steps} time step(s)" if steps else ""))
+        datasets = f.datasets()
+        if not datasets:
+            print("(no datasets)")
+            return 0
+        print(f"{'dataset':28s} {'kind':>8s} {'shape':>18s} {'dtype':>8s} "
+              f"{'bound':>9s} {'strategy':>8s} {'ranks':>5s} {'steps':>5s} "
+              f"{'ratio':>7s}")
+        for ds in datasets:
+            attrs = ds.attrs
+            bound = ds.declared_bound
+            strategy = attrs.get("repro:strategy", "-")
+            nranks = attrs.get("repro:nranks", "-")
+            if ds.time_axis:
+                kind, n_steps = "time", steps
+                stored = sum(
+                    engine[f"{step_group(t)}/{ds.leaf}"].stored_nbytes
+                    for t in range(steps)
+                )
+                logical = ds.size * ds.dtype.itemsize
+            else:
+                kind, n_steps = "snap", "-"
+                stored = ds._engine.stored_nbytes if ds._engine is not None else 0
+                logical = ds.size * ds.dtype.itemsize
+            ratio = logical / stored if stored else float("inf")
+            print(f"{ds.name.lstrip('/'):28s} {kind:>8s} "
+                  f"{str(ds.shape):>18s} {str(ds.dtype):>8s} "
+                  f"{(f'{bound:.1e}' if bound is not None else 'exact'):>9s} "
+                  f"{strategy:>8s} {str(nranks):>5s} {str(n_steps):>5s} "
+                  f"{ratio:>7.2f}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(prog="repro.tools.inspect", description=__doc__)
@@ -143,6 +191,11 @@ def main(argv: list[str] | None = None) -> int:
     p_parts.add_argument("path")
     p_parts.add_argument("dataset")
     p_parts.set_defaults(fn=cmd_parts)
+    p_summary = sub.add_parser(
+        "summary", help="facade view: per-dataset bound/strategy/steps/ratio"
+    )
+    p_summary.add_argument("path")
+    p_summary.set_defaults(fn=cmd_summary)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -157,10 +157,10 @@ def declared_bound(dataset: Dataset) -> tuple[str, float]:
     exact storage.  Anything else (e.g. the fixed-rate ZFP stand-in) is
     recorded as unbounded.
     """
-    for spec in dataset.filters.specs:
-        if spec.filter_id == FILTER_SZ:
-            mode = str(spec.options.get("mode", "abs"))
-            return mode, float(spec.options.get("bound", float("nan")))
+    spec = dataset.filters.find(FILTER_SZ)
+    if spec is not None:
+        mode = str(spec.options.get("mode", "abs"))
+        return mode, float(spec.options.get("bound", float("nan")))
     if not dataset.filters.has_array_filter:
         return "exact", 0.0
     return "unbounded", float("nan")

@@ -7,7 +7,10 @@ Three pillars, one schema-versioned artifact:
    back; every field must satisfy the error bound its own file metadata
    declares (overflow-pressure scenarios run at the tightest extra-space
    ratio so the repair path carries real traffic).  The registered codec
-   families get a direct compress→decompress sweep on top.
+   families get a direct compress→decompress sweep on top, and every
+   scenario is additionally written through the :mod:`repro.api` facade
+   (``<scenario>/facade[<strategy>]`` cells) so the h5py-style surface is
+   held to the same bounds as the drivers.
 2. **Differential parity** — the canonical workload through every
    strategy × executor backend; finished-file fingerprints must agree
    across backends and the serial output must certify.
@@ -42,7 +45,11 @@ from repro.verify.certify import CertificationReport, certify, certify_codecs
 from repro.verify.fuzz import fuzz
 from repro.verify.parity import CANONICAL_SCENARIO, differential_parity
 from repro.verify.report import build_report, save_report
-from repro.verify.workloads import reference_fields, write_scenario_file
+from repro.verify.workloads import (
+    reference_fields,
+    write_scenario_file,
+    write_scenario_file_facade,
+)
 
 
 def _scenario_config(scenario_name: str) -> PipelineConfig:
@@ -77,6 +84,31 @@ def run_certification(
     return out
 
 
+def run_facade_certification(
+    scenarios: "list[str]",
+    strategies: "list[str]",
+    seed: int,
+) -> dict[str, CertificationReport]:
+    """Certify facade-written files: every scenario through ``repro.open``.
+
+    The same payloads land via plain ``ds[region] = block`` assignments
+    instead of driver wiring (one representative strategy per scenario, so
+    the pillar stays smoke-sized), and must satisfy the same declared
+    bounds — proving the facade added routing, not a second write path.
+    """
+    out: dict[str, CertificationReport] = {}
+    strategy = "reorder" if "reorder" in strategies else strategies[0]
+    for scenario in scenarios:
+        arrays = get_scenario(scenario).array_payload(seed=seed)
+        reference = reference_fields(arrays)
+        config = _scenario_config(scenario)
+        with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+            path = os.path.join(tmp, "cert.phd5")
+            write_scenario_file_facade(arrays, strategy, path, config=config)
+            out[f"{scenario}/facade[{strategy}]"] = certify(path, reference)
+    return out
+
+
 def _parse_args(argv) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         prog="python -m repro.verify",
@@ -98,6 +130,8 @@ def _parse_args(argv) -> argparse.Namespace:
                         help="base seed for payload generation and fuzzing")
     parser.add_argument("--skip-parity", action="store_true",
                         help="skip the strategy x backend parity pillar")
+    parser.add_argument("--skip-facade", action="store_true",
+                        help="skip the repro.open facade certification cells")
     parser.add_argument("--skip-codecs", action="store_true",
                         help="skip the registered-codec round-trip sweep")
     parser.add_argument("--out", default=None,
@@ -117,6 +151,10 @@ def main(argv=None) -> int:
     n_fuzz = args.fuzz_cases if args.fuzz_cases is not None else (4 if args.quick else 12)
 
     certifications = run_certification(scenarios, strategies, args.seed)
+    if not args.skip_facade:
+        certifications.update(
+            run_facade_certification(scenarios, strategies, args.seed)
+        )
     parity = (
         None
         if args.skip_parity

@@ -54,6 +54,43 @@ def write_scenario_file(
         f.close()
 
 
+def write_scenario_file_facade(
+    arrays: ScenarioArrays,
+    strategy: str,
+    path: str,
+    config: PipelineConfig | None = None,
+    executor: "Executor | str | None" = None,
+) -> None:
+    """Write one scenario payload through the :mod:`repro.api` facade.
+
+    The facade counterpart of :func:`write_scenario_file`: the same
+    per-rank blocks land via plain ``ds[region] = block`` assignments
+    under a ``fields/`` group, so the resulting file certifies against the
+    same references as a driver-written one.  The per-rank payload regions
+    become the SPMD decomposition, exercising the facade's staged-tiling
+    collective flush rather than a test-only shortcut.
+    """
+    from repro import api
+
+    f = api.open(path, "w", strategy=strategy, executor=executor, config=config)
+    try:
+        datasets = {
+            name: f.create_dataset(
+                f"fields/{name}",
+                arrays.shape,
+                arr.dtype,
+                error_bound=arrays.scenario.array_bound,
+            )
+            for name, arr in arrays.fields.items()
+        }
+        for local, region in arrays.payload:
+            key = tuple(slice(a, b) for a, b in region)
+            for name, block in local.items():
+                datasets[name][key] = block
+    finally:
+        f.close()
+
+
 def reference_fields(
     arrays: ScenarioArrays, dtype: "np.dtype | None" = None
 ) -> dict[str, np.ndarray]:

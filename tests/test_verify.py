@@ -367,7 +367,9 @@ class TestCLI:
             report = json.load(f)
         assert report["schema"] == SCHEMA
         assert report["passed"] is True
-        assert set(report["certification"]) == {"balanced/reorder", "balanced/nocomp"}
+        assert set(report["certification"]) == {
+            "balanced/reorder", "balanced/nocomp", "balanced/facade[reorder]",
+        }
         assert report["parity"]["passed"] is True
         assert report["fuzz"]["n_cases"] == 1
         out = capsys.readouterr().out
@@ -384,7 +386,7 @@ class TestCLI:
             report = json.load(f)
         expected = {
             f"{sc}/{st}" for sc in scenario_names() for st in registered_strategies()
-        }
+        } | {f"{sc}/facade[reorder]" for sc in scenario_names()}
         assert set(report["certification"]) == expected
         assert report["passed"] is True
         # Overflow-pressure regimes must actually exercise the repair path.
@@ -394,3 +396,9 @@ class TestCLI:
             and not k.endswith("filter")
         ]
         assert any(cell["total_overflow_nbytes"] > 0 for cell in stress)
+        # The facade cells ride the same write path: identical overflow
+        # traffic to the driver cells, scenario by scenario.
+        for sc in scenario_names():
+            facade = report["certification"][f"{sc}/facade[reorder]"]
+            direct = report["certification"][f"{sc}/reorder"]
+            assert facade["total_overflow_nbytes"] == direct["total_overflow_nbytes"]
