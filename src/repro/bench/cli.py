@@ -50,9 +50,10 @@ SCHEMA = "repro-bench/1"
 BENCH_SCENARIOS = ("balanced", "many-small-fields", "incompressible")
 
 #: Microbenchmark names in presentation order.  ``facade`` is the same
-#: multi-rank write as ``write`` but driven through ``repro.open`` — the
-#: artifact's ``facade_overhead`` section is their serial-cell ratio, the
-#: number that proves the h5py-style surface costs <5% over the driver.
+#: multi-rank write as ``write`` but driven through ``repro.open``; the
+#: artifact's ``facade_overhead`` section (a *paired* back-to-back serial
+#: measurement, see :func:`measure_facade_overhead`) is the number that
+#: proves the h5py-style surface costs <5% over the direct driver.
 BENCHES = ("plan", "compress", "write", "facade", "tune")
 
 
@@ -290,7 +291,48 @@ def _index(cells: "list[BenchCell]") -> dict:
     return {(c.bench, c.scenario, c.backend): c for c in cells}
 
 
-def build_report(cells: "list[BenchCell]", quick: bool, repeats: int) -> dict:
+def measure_facade_overhead(
+    scenarios: "list[str]", quick: bool, repeats: int
+) -> dict[str, float]:
+    """Paired facade-vs-driver overhead per scenario (serial backend).
+
+    The independently timed ``write``/``facade`` cells are minutes apart
+    in the suite, so on a busy machine their ratio mostly measures CPU
+    weather.  Here each repeat times the direct driver and the facade
+    back to back — every pair shares the same machine state — and the
+    overhead is the *median of the per-pair ratios*, which a single
+    scheduler hiccup cannot move.  This is the number the <5% facade
+    target is judged on.
+    """
+    out: dict[str, float] = {}
+    ex = get_executor("serial")
+    n = max(repeats, 5)
+    try:
+        for scenario in scenarios:
+            arrays = _payload(get_scenario(scenario), quick)
+            run_write(ex, arrays)  # warm both paths (imports, model caches)
+            run_facade(ex, arrays)
+            ratios: list[float] = []
+            for _ in range(n):
+                t0 = time.perf_counter()
+                run_write(ex, arrays)
+                direct = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                run_facade(ex, arrays)
+                ratios.append((time.perf_counter() - t0) / direct)
+            ratios.sort()
+            out[scenario] = ratios[len(ratios) // 2] - 1.0
+    finally:
+        ex.close()
+    return out
+
+
+def build_report(
+    cells: "list[BenchCell]",
+    quick: bool,
+    repeats: int,
+    facade_overhead: "dict[str, float] | None" = None,
+) -> dict:
     """Assemble the schema-versioned artifact."""
     idx = _index(cells)
     backends = sorted({c.backend for c in cells}, key=list(EXECUTOR_NAMES).index)
@@ -316,12 +358,15 @@ def build_report(cells: "list[BenchCell]", quick: bool, repeats: int) -> dict:
                 "per_backend": prints,
                 "identical": len(set(prints.values())) <= 1,
             }
-    facade_overhead: dict[str, float] = {}
-    for scenario in sorted({c.scenario for c in cells}):
-        direct = idx.get(("write", scenario, "serial"))
-        facade = idx.get(("facade", scenario, "serial"))
-        if direct is not None and facade is not None and direct.seconds > 0:
-            facade_overhead[scenario] = facade.seconds / direct.seconds - 1.0
+    if facade_overhead is None:
+        # Fallback (direct build_report callers): derive from the suite
+        # cells; less robust than the paired measurement main() makes.
+        facade_overhead = {}
+        for scenario in sorted({c.scenario for c in cells}):
+            direct = idx.get(("write", scenario, "serial"))
+            facade = idx.get(("facade", scenario, "serial"))
+            if direct is not None and facade is not None and direct.seconds > 0:
+                facade_overhead[scenario] = facade.seconds / direct.seconds - 1.0
     return {
         "schema": SCHEMA,
         "git_sha": git_sha(),
@@ -337,7 +382,7 @@ def build_report(cells: "list[BenchCell]", quick: bool, repeats: int) -> dict:
         "speedups": speedups,
         "fingerprints": fingerprints,
         #: repro.open wall-clock over the direct driver path, per scenario
-        #: (serial cells; 0.03 = 3% slower).  Target: < 0.05.
+        #: (paired serial runs; 0.03 = 3% slower).  Target: < 0.05.
         "facade_overhead": facade_overhead,
         "strategy_choices": {
             scenario: idx[("tune", scenario, "serial")].fingerprint
@@ -433,7 +478,12 @@ def main(argv=None) -> int:
         backends.insert(0, "serial")
     repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
     cells = run_suite(scenarios, backends, args.quick, repeats)
-    report = build_report(cells, args.quick, repeats)
+    overhead = (
+        measure_facade_overhead(scenarios, args.quick, repeats)
+        if {"write", "facade"} <= set(BENCHES)
+        else None
+    )
+    report = build_report(cells, args.quick, repeats, facade_overhead=overhead)
 
     out_dir = args.out or results_dir()
     os.makedirs(out_dir, exist_ok=True)
