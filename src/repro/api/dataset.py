@@ -286,14 +286,17 @@ class Dataset:
         if self.time_axis:
             return self._get_step(key)
         engine = self._require_engine()
+        executor = self._file._executor
         if key is Ellipsis:
-            return engine.read()
+            return engine.read(executor=executor)
         try:
             regions, value_shape = _selection(key, self._base_shape)
         except HDF5Error:
             # Fancy/boolean indexing: decode everything, let numpy select.
-            return engine.read()[key]
-        out = engine.read_region(tuple(slice(a, b) for a, b in regions))
+            return engine.read(executor=executor)[key]
+        out = engine.read_region(
+            tuple(slice(a, b) for a, b in regions), executor=executor
+        )
         return out.reshape(value_shape)
 
     def read(self) -> np.ndarray:

@@ -414,6 +414,13 @@ class File(Group):
         return self._engine.path
 
     @property
+    def read_stats(self):
+        """Per-file read-path counters: partitions decoded, decoded-partition
+        cache hits, and uncompressed bytes produced (see
+        :class:`repro.hdf5.file.ReadStats`)."""
+        return self._engine.read_stats
+
+    @property
     def writable(self) -> bool:
         """True for files opened in "w" or "r+" mode."""
         return self.mode in ("w", "r+")

@@ -33,7 +33,10 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.bench.harness import format_table, results_dir
+from repro.bench.read import measure_read_extras
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import RealDriver
 from repro.core.scenarios import Scenario, get_scenario
@@ -43,7 +46,9 @@ from repro.hdf5.file import File
 from repro.hdf5.properties import FileAccessProps
 
 #: Bench artifact schema (bump on any shape change).
-SCHEMA = "repro-bench/1"
+#: v2: added the ``read`` matrix bench and the artifact-level ``read``
+#: section (hotspot trace + decode speedup).
+SCHEMA = "repro-bench/2"
 
 #: The fixed scenario triple: balanced (the paper's target regime),
 #: latency-dominated many-small-fields, and incompressible noise.
@@ -54,7 +59,12 @@ BENCH_SCENARIOS = ("balanced", "many-small-fields", "incompressible")
 #: artifact's ``facade_overhead`` section (a *paired* back-to-back serial
 #: measurement, see :func:`measure_facade_overhead`) is the number that
 #: proves the h5py-style surface costs <5% over the direct driver.
-BENCHES = ("plan", "compress", "write", "facade", "tune")
+#: ``read`` is the cold multi-partition decode of a just-written scenario
+#: file (cache cleared per run), fanned over the executor backends; its
+#: artifact-level companions — the 80/20 hotspot trace and the
+#: scalar-vs-vectorized decode speedup — live in the report's ``read``
+#: section (see :mod:`repro.bench.read`).
+BENCHES = ("plan", "compress", "write", "facade", "read", "tune")
 
 
 @dataclass(frozen=True)
@@ -209,6 +219,45 @@ def run_facade(ex: Executor, arrays) -> str:
             return digest([hashlib.sha256(fh.read()).digest()])
 
 
+def setup_read(sc: Scenario, quick: bool):
+    """Write one scenario file to decode from (untimed, serial).
+
+    The TemporaryDirectory object rides along in the state tuple so the
+    file outlives setup and is reclaimed when the state is dropped.
+    """
+    arrays = _payload(sc, quick)
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-read-")
+    path = os.path.join(tmp.name, "read.phd5")
+    from repro.verify.workloads import write_scenario_file_facade
+
+    write_scenario_file_facade(
+        arrays, "reorder", path, config=PipelineConfig(async_workers=2)
+    )
+    return (tmp, path, sorted(arrays.fields))
+
+
+def run_read(ex: Executor, state) -> str:
+    """Cold full-file read: every partition pread + decoded on ``ex``.
+
+    The decoded-partition cache is cleared first so each repeat pays the
+    full decode; the fingerprint is the digest of the reconstructed
+    arrays, which every backend must reproduce byte-identically.
+    """
+    from repro.cache import get_cache
+
+    _tmp, path, names = state
+    get_cache().clear()
+    f = File(path, "r")
+    try:
+        parts = []
+        for name in names:
+            arr = f[f"fields/{name}"].read(executor=ex)
+            parts.append(hashlib.sha256(np.ascontiguousarray(arr)).digest())
+        return digest(parts)
+    finally:
+        f.close()
+
+
 def setup_tune(sc: Scenario, quick: bool):
     nranks, nfields, nsteps = (16, 6, 3) if quick else (64, 10, 6)
     scaled = sc.scaled(nranks=nranks, nfields=nfields)
@@ -228,6 +277,7 @@ _BENCH_FNS: dict[str, tuple[Callable, Callable]] = {
     "compress": (setup_compress, run_compress),
     "write": (setup_write, run_write),
     "facade": (setup_facade, run_facade),
+    "read": (setup_read, run_read),
     "tune": (setup_tune, run_tune),
 }
 
@@ -332,6 +382,7 @@ def build_report(
     quick: bool,
     repeats: int,
     facade_overhead: "dict[str, float] | None" = None,
+    read_extras: "dict | None" = None,
 ) -> dict:
     """Assemble the schema-versioned artifact."""
     idx = _index(cells)
@@ -384,6 +435,11 @@ def build_report(
         #: repro.open wall-clock over the direct driver path, per scenario
         #: (paired serial runs; 0.03 = 3% slower).  Target: < 0.05.
         "facade_overhead": facade_overhead,
+        #: Read-path extras: the 80/20 hotspot trace (cache hit-rate,
+        #: p50/p99 latency; target hit-rate >= 0.7) and the vectorized
+        #: decode speedup over the scalar oracle (target >= 10x on a 1M-
+        #: symbol stream).  None when the caller skipped the measurement.
+        "read": read_extras,
         "strategy_choices": {
             scenario: idx[("tune", scenario, "serial")].fingerprint
             for scenario in sorted({c.scenario for c in cells})
@@ -483,7 +539,11 @@ def main(argv=None) -> int:
         if {"write", "facade"} <= set(BENCHES)
         else None
     )
-    report = build_report(cells, args.quick, repeats, facade_overhead=overhead)
+    read_extras = measure_read_extras(args.quick, repeats)
+    report = build_report(
+        cells, args.quick, repeats,
+        facade_overhead=overhead, read_extras=read_extras,
+    )
 
     out_dir = args.out or results_dir()
     os.makedirs(out_dir, exist_ok=True)
@@ -506,6 +566,19 @@ def main(argv=None) -> int:
             f"{sc}: {ov:+.1%}" for sc, ov in sorted(report["facade_overhead"].items())
         )
         print(f"\nfacade overhead vs direct driver (serial): {parts}")
+    if report.get("read"):
+        hot = report["read"]["hotspot"]
+        dec = report["read"]["decode_speedup"]
+        print(
+            f"\nhotspot 80/20 ({hot['num_reads']} reads): "
+            f"cache hit-rate {hot['cache_hit_rate']:.3f}, "
+            f"p50 {hot['p50_ms']:.3f}ms, p99 {hot['p99_ms']:.3f}ms"
+        )
+        print(
+            f"huffman decode ({dec['nsymbols']} symbols): "
+            f"vectorized {dec['vectorized_seconds']:.3f}s vs "
+            f"scalar {dec['scalar_seconds']:.3f}s -> {dec['speedup']:.1f}x"
+        )
     print(f"\nwrote {path}")
 
     status = 0

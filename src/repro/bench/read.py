@@ -1,0 +1,191 @@
+"""Read-side benchmark bodies: hotspot access and decode speedup.
+
+Two measurements back the read-scaling claims that the matrix cells in
+:mod:`repro.bench.cli` cannot express:
+
+* **Hotspot (80/20)** — an access trace where 80% of reads land on 20%
+  of the address space (the classic skew of checkpoint inspection and
+  analysis sweeps), replayed as facade region reads.  The decoded-
+  partition cache should absorb the hot set, so the artifact records the
+  cache hit-rate alongside p50/p99 per-read latency.
+* **Decode speedup** — the vectorized hop-table Huffman decoder against
+  the retained scalar oracle on a ≥1M-symbol peaked stream (the symbol
+  distribution Lorenzo residuals actually produce).  This is the
+  microbenchmark the ≥10× read-path acceptance bar is judged on.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.compression.huffman import huffman_decode, huffman_decode_scalar, huffman_encode
+from repro.core.scenarios import get_scenario
+
+
+class WorkloadGenerator:
+    """Access-trace generator over an abstract address space.
+
+    Addresses are opaque integers in ``[0, naddresses)``; the read bench
+    maps each one onto a region of the benched dataset.  The hotspot
+    trace is the headline: ``generate_hotspot(n, hot_ratio=0.8,
+    hot_data_fraction=0.2)`` sends 80% of accesses to a randomly chosen
+    20% of the space.
+    """
+
+    def __init__(self, naddresses: int, seed: int = 0) -> None:
+        if naddresses <= 0:
+            raise ValueError("naddresses must be positive")
+        self.naddresses = int(naddresses)
+        self._rng = np.random.default_rng(seed)
+
+    def generate_sequential(self, num: int) -> "list[int]":
+        """A cyclic linear scan: every address equally cold."""
+        return [i % self.naddresses for i in range(num)]
+
+    def generate_random(self, num: int) -> "list[int]":
+        """Uniform random accesses (the cache-hostile baseline)."""
+        return self._rng.integers(0, self.naddresses, num).tolist()
+
+    def generate_hotspot(
+        self, num: int, hot_ratio: float = 0.8, hot_data_fraction: float = 0.2
+    ) -> "list[int]":
+        """Skewed accesses: ``hot_ratio`` of reads hit ``hot_data_fraction``
+        of the addresses."""
+        if not 0.0 < hot_ratio <= 1.0 or not 0.0 < hot_data_fraction <= 1.0:
+            raise ValueError("ratios must be in (0, 1]")
+        nhot = max(1, int(round(self.naddresses * hot_data_fraction)))
+        perm = self._rng.permutation(self.naddresses)
+        hot, cold = perm[:nhot], perm[nhot:]
+        take_hot = self._rng.random(num) < hot_ratio
+        if cold.size == 0:
+            take_hot[:] = True
+        picks = np.where(
+            take_hot,
+            hot[self._rng.integers(0, hot.size, num)],
+            cold[self._rng.integers(0, max(cold.size, 1), num)],
+        )
+        return picks.tolist()
+
+
+def _percentile(sorted_seconds: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of an already-sorted latency list."""
+    if not sorted_seconds:
+        return 0.0
+    rank = min(len(sorted_seconds) - 1, int(round(q * (len(sorted_seconds) - 1))))
+    return sorted_seconds[rank]
+
+
+def measure_hotspot(
+    scenario: str = "balanced",
+    quick: bool = False,
+    num_reads: "int | None" = None,
+    hot_ratio: float = 0.8,
+    hot_data_fraction: float = 0.2,
+    seed: int = 0,
+) -> dict:
+    """Replay an 80/20 hotspot read trace through ``repro.open``.
+
+    Writes one scenario file, then issues ``num_reads`` slab reads whose
+    slab indices follow the hotspot trace.  The cache starts empty — cold
+    misses are part of the measurement, exactly what a fresh analysis
+    process pays — and the artifact records the decoded-partition cache
+    hit-rate plus per-read latency percentiles.
+    """
+    import repro
+    from repro.cache import get_cache
+    from repro.verify.workloads import write_scenario_file_facade
+
+    sc = get_scenario(scenario)
+    arrays = (
+        sc if quick else sc.scaled(array_shape=(32, 24, 24), array_nranks=8)
+    ).array_payload(seed=0)
+    num_reads = num_reads if num_reads is not None else (200 if quick else 1000)
+    name = sorted(arrays.fields)[0]
+    shape = arrays.shape
+
+    # Address space: unit-thickness slabs along axis 0, so distinct
+    # addresses map to distinct partition subsets.
+    wg = WorkloadGenerator(shape[0], seed=seed)
+    trace = wg.generate_hotspot(num_reads, hot_ratio, hot_data_fraction)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-read-") as tmp:
+        path = os.path.join(tmp, "hotspot.phd5")
+        write_scenario_file_facade(arrays, "reorder", path)
+        get_cache().clear()
+        latencies: "list[float]" = []
+        with repro.open(path, "r") as f:
+            ds = f[f"fields/{name}"]
+            t_all = time.perf_counter()
+            for addr in trace:
+                t0 = time.perf_counter()
+                ds[addr : addr + 1]
+                latencies.append(time.perf_counter() - t0)
+            total = time.perf_counter() - t_all
+            stats = f.read_stats
+            result = {
+                "scenario": scenario,
+                "num_reads": num_reads,
+                "hot_ratio": hot_ratio,
+                "hot_data_fraction": hot_data_fraction,
+                "cache_hit_rate": stats.hit_rate,
+                "partitions_decoded": stats.partitions_decoded,
+                "bytes_decoded": stats.bytes_decoded,
+                "p50_ms": _percentile(sorted(latencies), 0.50) * 1e3,
+                "p99_ms": _percentile(sorted(latencies), 0.99) * 1e3,
+                "mean_ms": (total / num_reads) * 1e3,
+                "total_seconds": total,
+            }
+        get_cache().clear()
+        return result
+
+
+def measure_decode_speedup(
+    quick: bool = False, repeats: int = 3, nsymbols: int = 1_000_000
+) -> dict:
+    """Vectorized vs scalar Huffman decode on a peaked ≥1M-symbol stream.
+
+    The stream mimics Lorenzo-residual statistics — quantization codes
+    tightly peaked around the zero bin — which is both the production
+    regime and the friendliest case for the scalar loop (short codes,
+    no long-code walks), so the reported speedup is a conservative one.
+    The scalar decode costs ~1.5s/M symbols, so quick mode times a single
+    scalar pass; the vectorized side is min-of-``repeats`` either way.
+    """
+    rng = np.random.default_rng(42)
+    symbols = np.clip(np.rint(rng.normal(512, 3.0, nsymbols)), 0, 1023).astype(np.int64)
+    blob = huffman_encode(symbols, 1024)
+
+    fast_best = float("inf")
+    for _ in range(max(repeats, 2)):
+        t0 = time.perf_counter()
+        out_fast, _ = huffman_decode(blob)
+        fast_best = min(fast_best, time.perf_counter() - t0)
+
+    slow_best = float("inf")
+    for _ in range(1 if quick else max(repeats - 1, 1)):
+        t0 = time.perf_counter()
+        out_slow, _ = huffman_decode_scalar(blob)
+        slow_best = min(slow_best, time.perf_counter() - t0)
+
+    if not np.array_equal(out_fast, out_slow):  # pragma: no cover - safety net
+        raise AssertionError("vectorized decode diverged from the scalar oracle")
+    return {
+        "nsymbols": nsymbols,
+        "compressed_bytes": len(blob),
+        "scalar_seconds": slow_best,
+        "vectorized_seconds": fast_best,
+        "speedup": slow_best / fast_best if fast_best > 0 else float("inf"),
+        "identical": True,
+    }
+
+
+def measure_read_extras(quick: bool, repeats: int) -> dict:
+    """The artifact's ``read`` section: hotspot trace + decode speedup."""
+    return {
+        "hotspot": measure_hotspot(quick=quick),
+        "decode_speedup": measure_decode_speedup(quick=quick, repeats=repeats),
+    }

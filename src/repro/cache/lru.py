@@ -1,0 +1,230 @@
+"""Decoded-partition LRU cache: the read path's working set.
+
+Decoding a declared partition is the expensive half of every read —
+Huffman + Lorenzo reconstruction costs orders of magnitude more than the
+``pread`` that fetches the stream — so repeated reads of hot regions
+(checkpoint inspection, analysis sweeps, the 80/20 access patterns the
+read bench drives) should pay it once.  This module keeps decoded
+partition arrays in a process-wide LRU keyed by
+
+    ``(file identity, dataset path, partition index, filters digest)``
+
+where the filters digest covers the full pipeline options (error bound
+included), so a re-written or differently-bounded stream can never serve
+a stale array.  The file identity is a per-:class:`~repro.hdf5.file.File`
+instance token — two opens of the same path never share entries, and a
+writer invalidates per partition as it lands bytes.
+
+Cached arrays are stored and returned **read-only**; callers that
+assemble regions copy slices out of them, and anyone who genuinely needs
+a private mutable copy takes one explicitly.
+
+The cache is bounded by a configurable byte budget
+(:func:`configure`; ``REPRO_CACHE_BYTES`` overrides the default, ``0``
+disables caching entirely) and is safe under concurrent readers: one
+lock guards the map and the hit/miss/eviction counters.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Default byte budget for the process-wide cache.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Environment override for the default budget (``0`` disables).
+ENV_MAX_BYTES = "REPRO_CACHE_BYTES"
+
+#: Cache keys: (file token, dataset path, partition index, filters digest).
+CacheKey = tuple[int, str, int, str]
+
+
+def _default_max_bytes() -> int:
+    raw = os.environ.get(ENV_MAX_BYTES)
+    if raw is None:
+        return DEFAULT_MAX_BYTES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_MAX_BYTES
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache behaviour."""
+
+    hits: int
+    misses: int
+    evictions: int
+    insertions: int
+    entries: int
+    current_bytes: int
+    max_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "insertions": self.insertions,
+            "entries": self.entries,
+            "current_bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class DecodedPartitionCache:
+    """A thread-safe byte-budgeted LRU over decoded partition arrays."""
+
+    def __init__(self, max_bytes: int | None = None) -> None:
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, np.ndarray]" = OrderedDict()
+        self._current_bytes = 0
+        self._max_bytes = _default_max_bytes() if max_bytes is None else max(0, int(max_bytes))
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._insertions = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False once the budget is zero (every lookup misses)."""
+        return self._max_bytes > 0
+
+    @property
+    def max_bytes(self) -> int:
+        """The current byte budget."""
+        return self._max_bytes
+
+    def get(self, key: CacheKey) -> np.ndarray | None:
+        """The cached (read-only) array for ``key``, or None on a miss."""
+        with self._lock:
+            arr = self._entries.get(key)
+            if arr is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return arr
+
+    def put(self, key: CacheKey, array: np.ndarray) -> np.ndarray:
+        """Insert ``array`` under ``key``; returns the read-only view stored.
+
+        Arrays larger than the whole budget are not cached (returned
+        read-only anyway so caller behaviour does not depend on cache
+        pressure).  Replacing an existing key updates the budget exactly.
+        """
+        frozen = array.view()
+        frozen.flags.writeable = False
+        nbytes = int(frozen.nbytes)
+        with self._lock:
+            if not self._max_bytes or nbytes > self._max_bytes:
+                return frozen
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._current_bytes -= int(old.nbytes)
+            self._entries[key] = frozen
+            self._current_bytes += nbytes
+            self._insertions += 1
+            while self._current_bytes > self._max_bytes:
+                _, victim = self._entries.popitem(last=False)
+                self._current_bytes -= int(victim.nbytes)
+                self._evictions += 1
+        return frozen
+
+    def invalidate(
+        self, file_token: int, dataset: str | None = None, index: int | None = None
+    ) -> int:
+        """Drop entries for a file / dataset / single partition.
+
+        Returns the number of entries removed.  Called by the write path
+        whenever partition bytes land, and by :meth:`File.close` to purge
+        the whole file identity.
+        """
+        with self._lock:
+            doomed = [
+                k
+                for k in self._entries
+                if k[0] == file_token
+                and (dataset is None or k[1] == dataset)
+                and (index is None or k[2] == index)
+            ]
+            for k in doomed:
+                self._current_bytes -= int(self._entries.pop(k).nbytes)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry (counters survive; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._entries.clear()
+            self._current_bytes = 0
+
+    def configure(self, max_bytes: int) -> None:
+        """Change the byte budget; shrinking evicts LRU-first immediately."""
+        with self._lock:
+            self._max_bytes = max(0, int(max_bytes))
+            while self._current_bytes > self._max_bytes:
+                _, victim = self._entries.popitem(last=False)
+                self._current_bytes -= int(victim.nbytes)
+                self._evictions += 1
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction/insertion counters."""
+        with self._lock:
+            self._hits = self._misses = 0
+            self._evictions = self._insertions = 0
+
+    def stats(self) -> CacheStats:
+        """Snapshot the counters and occupancy."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                insertions=self._insertions,
+                entries=len(self._entries),
+                current_bytes=self._current_bytes,
+                max_bytes=self._max_bytes,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"<DecodedPartitionCache {s.entries} entries "
+            f"{s.current_bytes}/{s.max_bytes}B hit_rate={s.hit_rate:.2f}>"
+        )
+
+
+#: The process-wide cache every engine read consults.
+_GLOBAL = DecodedPartitionCache()
+
+
+def get_cache() -> DecodedPartitionCache:
+    """The process-wide decoded-partition cache."""
+    return _GLOBAL
+
+
+def configure(max_bytes: int) -> None:
+    """Set the process-wide cache budget (``0`` disables caching)."""
+    _GLOBAL.configure(max_bytes)
+
+
+def cache_stats() -> CacheStats:
+    """Snapshot of the process-wide cache counters."""
+    return _GLOBAL.stats()

@@ -10,8 +10,15 @@ bounds for the *upper* bound).  This module provides:
   serializes as just the per-symbol lengths;
 * :func:`huffman_encode` — vectorized encoding using
   :func:`repro.utils.bits.pack_varlen_codes`;
-* :func:`huffman_decode` — table-driven decoding (single-level lookup table
-  for codes up to ``TABLE_BITS`` bits, incremental tree walk for the tail).
+* :func:`huffman_decode` — vectorized table-driven decoding: every
+  ``TABLE_BITS``-bit window is precomputed into a multi-symbol "hop"
+  (symbols, cumulative lengths, bits consumed), so the decode loop advances
+  one hop — up to ``TABLE_BITS`` symbols — per iteration and emits all
+  symbols with a single masked gather; codes longer than ``TABLE_BITS``
+  fall back to an incremental tree walk;
+* :func:`huffman_decode_scalar` — the retained per-symbol reference
+  decoder, the differential-testing oracle for the vectorized path (the
+  same pattern :mod:`repro.utils.bits` uses for the packer).
 
 Codes are generated MSB-first and stored bit-reversed so the LSB-first
 bitstream yields code bits in natural order — the same trick DEFLATE uses.
@@ -231,27 +238,38 @@ def _build_decode_tables(
     return table_sym, table_len, long_map
 
 
-def huffman_decode(blob: bytes) -> tuple[np.ndarray, int]:
-    """Decode a blob produced by :func:`huffman_encode`.
+def _parse_stream(blob: bytes) -> tuple[HuffmanCode, int, int, bytes, int]:
+    """Parse header, bit count, and the exact word-rounded payload slice.
 
-    Returns ``(symbols, bytes_consumed)`` so callers can embed the blob in a
-    larger container.
+    The packer emits whole little-endian 64-bit words, so the payload spans
+    exactly ``ceil(total_bits / 64)`` words — computed once here and reused
+    for both the bitstream slice and the ``bytes_consumed`` return, so a
+    blob embedded in a larger buffer never reads past its own end.
+    Returns ``(code, nvalues, total_bits, payload, consumed)``.
     """
     code, nvalues, off = deserialize_code(blob)
     if len(blob) < off + 8:
         raise CorruptStreamError("huffman bit-count field truncated")
     (total_bits,) = struct.unpack_from("<Q", blob, off)
     off += 8
+    payload_nbytes = (-(-total_bits // 64)) * 8
+    if len(blob) < off + payload_nbytes:
+        raise CorruptStreamError("huffman payload truncated")
+    payload = blob[off : off + payload_nbytes]
+    return code, nvalues, total_bits, payload, off + payload_nbytes
+
+
+def _decode_scalar(
+    code: HuffmanCode, nvalues: int, total_bits: int, payload: bytes
+) -> np.ndarray:
+    """Per-symbol reference decoder (the differential-testing oracle)."""
     out = np.empty(nvalues, dtype=np.int64)
-    if nvalues == 0:
-        return out, off
-    payload_bytes = -(-total_bits // 8)
-    reader = BitReader(blob[off : off + payload_bytes + 8], total_bits)
+    reader = BitReader(payload, total_bits)
     table_sym_a, table_len_a, long_map = _build_decode_tables(code)
     table_sym = table_sym_a.tolist()
     table_len = table_len_a.tolist()
-    # Hot loop: bind locals for speed; this is the only per-symbol Python
-    # loop in the decompression path.
+    # Bind locals for speed; the vectorized decoder below replaces this as
+    # the production path, but this loop remains the semantics oracle.
     peek = reader.peek
     skip = reader.skip
     read = reader.read
@@ -263,23 +281,226 @@ def huffman_decode(blob: bytes) -> tuple[np.ndarray, int]:
             skip(table_len[window])
             out[i] = sym
             continue
-        # Long code: continue an MSB-first walk past the table width.
-        value = 0
-        for _ in range(tbits):
-            value = (value << 1) | (window & 1)
-            window >>= 1
-        skip(tbits)
-        length = tbits
-        while True:
-            value = (value << 1) | read(1)
-            length += 1
-            hit = long_map.get((value, length))
-            if hit is not None:
-                out[i] = hit
-                break
-            if length > MAX_CODE_LEN + 1:
-                raise CorruptStreamError("invalid huffman bitstream")
-    # The packer emits whole 64-bit words, so round the payload up to that
-    # granularity when reporting consumption.
-    consumed = off + (-(-total_bits // 64)) * 8
-    return out, consumed
+        out[i] = _walk_long_code(reader, window, long_map)
+    return out
+
+
+def _walk_long_code(
+    reader: BitReader, window: int, long_map: dict[tuple[int, int], int]
+) -> int:
+    """Decode one code longer than ``TABLE_BITS`` via an MSB-first walk.
+
+    ``window`` is the (possibly zero-padded) ``TABLE_BITS``-bit peek at the
+    reader's current position; the reader is advanced past the full code.
+    """
+    value = 0
+    for _ in range(TABLE_BITS):
+        value = (value << 1) | (window & 1)
+        window >>= 1
+    reader.skip(TABLE_BITS)
+    length = TABLE_BITS
+    while True:
+        value = (value << 1) | reader.read(1)
+        length += 1
+        hit = long_map.get((value, length))
+        if hit is not None:
+            return hit
+        if length > MAX_CODE_LEN + 1:
+            raise CorruptStreamError("invalid huffman bitstream")
+
+
+#: Hop-window widths: every window of ``hop_bits`` is precomputed into a
+#: multi-symbol decode step.  Large streams amortize the bigger table.
+_HOP_BITS_SMALL = TABLE_BITS
+_HOP_BITS_LARGE = 16
+
+#: Streams with at least this many values use the wide hop table.
+_WIDE_HOP_MIN_VALUES = 1 << 16
+
+
+def _build_hop_tables(
+    table_sym: np.ndarray, table_len: np.ndarray, hop_bits: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[int]]:
+    """Precompute multi-symbol decode steps for every ``hop_bits`` window.
+
+    For each of the ``2**hop_bits`` windows, greedily decode as many whole
+    codes as fit entirely inside the window (using the single-level
+    ``TABLE_BITS`` lookup for each).  Returns ``(syms, cums, counts,
+    packed)``: ``syms[w, :counts[w]]`` are the symbols the window yields in
+    stream order, ``cums[w, k]`` the cumulative bit length after symbol
+    ``k``, and ``packed[w] == (nbits << 5) | counts[w]`` the per-hop
+    advance, fused into one list lookup for the decode loop.  A window with
+    ``packed == 0`` starts with a code longer than ``TABLE_BITS`` (or an
+    invalid pattern) and falls back to the scalar walker.
+
+    Prefix-freeness makes the greedy per-window decode exact: a table hit
+    whose length fits in the window's remaining bits is necessarily the
+    code those bits spell, regardless of what follows.
+    """
+    size = 1 << hop_bits
+    table_mask = (1 << TABLE_BITS) - 1
+    win = np.arange(size, dtype=np.int64)
+    pos = np.zeros(size, dtype=np.int64)
+    counts = np.zeros(size, dtype=np.int64)
+    syms = np.zeros((size, hop_bits), dtype=np.int32)
+    cums = np.zeros((size, hop_bits), dtype=np.int8)
+    active = np.ones(size, dtype=bool)
+    for k in range(hop_bits):
+        # High bits beyond the window are zero, matching BitReader.peek's
+        # zero fill at the end of a stream.
+        sub = (win >> pos) & table_mask
+        s = table_sym[sub]
+        ln = table_len[sub]
+        ok = active & (s >= 0) & (ln <= hop_bits - pos)
+        if not ok.any():
+            break
+        syms[ok, k] = s[ok]
+        pos[ok] += ln[ok]
+        cums[ok, k] = pos[ok]
+        counts[ok] += 1
+        active = ok
+    packed = ((pos << 5) | counts).tolist()
+    return syms, cums, counts, packed
+
+
+def _stream_chunks(payload: bytes, total_bits: int) -> list[int]:
+    """Overlapping 32-bit windows of the bitstream, one per 16 bits.
+
+    ``chunks[i]`` holds bits ``[16*i, 16*i + 32)`` so any bit position can
+    be peeked with a single list index and one small-int shift — the decode
+    loop's window never exceeds ``_HOP_BITS_LARGE <= 32 - 15`` valid bits.
+    Bits past ``total_bits`` are zeroed (matching :meth:`BitReader.peek`),
+    so garbage padding in a hostile blob can't change what decodes.
+    """
+    nwords = len(payload) // 8
+    words = np.zeros(nwords + 1, dtype=np.uint64)  # +1 guard word
+    if nwords:
+        words[:nwords] = np.frombuffer(payload, dtype=np.uint64)
+        if total_bits & 63:
+            words[nwords - 1] &= np.uint64((1 << (total_bits & 63)) - 1)
+    halves = words.view(np.uint16).astype(np.uint32)
+    return (halves[:-1] | (halves[1:] << np.uint32(16))).tolist()
+
+
+def _decode_vectorized(
+    code: HuffmanCode, nvalues: int, total_bits: int, payload: bytes
+) -> np.ndarray:
+    """Whole-array decoder: hop-table walk plus one vectorized emission.
+
+    The per-hop fast loop touches only Python small ints — one chunk
+    lookup, one shift/mask, one packed-table lookup — and each hop yields
+    up to ``hop_bits`` symbols; the symbol emission at the end is a single
+    masked gather.  Codes longer than ``TABLE_BITS`` drop to the same
+    scalar walker the oracle uses, and the bounds-checked tail loop
+    reproduces the oracle's error semantics (truncation, invalid streams)
+    bit for bit.
+    """
+    hop_bits = _HOP_BITS_LARGE if nvalues >= _WIDE_HOP_MIN_VALUES else _HOP_BITS_SMALL
+    table_sym, table_len, long_map = _build_decode_tables(code)
+    hop_syms, hop_cums, hop_counts, packed = _build_hop_tables(
+        table_sym, table_len, hop_bits
+    )
+    chunks = _stream_chunks(payload, total_bits)
+    hop_mask = (1 << hop_bits) - 1
+
+    reader: BitReader | None = None
+    wins: list[int] = []
+    append = wins.append
+    long_syms: list[int] = []
+    pos = 0
+    produced = 0
+
+    # Fast loop: no bounds checks needed while a full hop can neither cross
+    # the declared bit limit nor overshoot the requested value count.
+    fast_pos = total_bits - hop_bits
+    fast_produced = nvalues - hop_bits
+    while pos <= fast_pos and produced < fast_produced:
+        window = (chunks[pos >> 4] >> (pos & 15)) & hop_mask
+        cn = packed[window]
+        if cn:
+            append(window)
+            produced += cn & 31
+            pos += cn >> 5
+            continue
+        # Long code (or corrupt pattern): scalar walker, oracle semantics.
+        if reader is None:
+            reader = BitReader(payload, total_bits)
+        reader.seek(pos)
+        long_syms.append(_walk_long_code(reader, window, long_map))
+        append(-1)
+        produced += 1
+        pos = reader.position
+
+    # Tail loop: same walk with full bounds checks near both stream ends.
+    while produced < nvalues:
+        if pos >= total_bits:
+            raise CorruptStreamError("bitstream exhausted")
+        window = (chunks[pos >> 4] >> (pos & 15)) & hop_mask
+        cn = packed[window]
+        n = cn & 31
+        if n == 0:
+            if reader is None:
+                reader = BitReader(payload, total_bits)
+            reader.seek(pos)
+            long_syms.append(_walk_long_code(reader, window, long_map))
+            append(-1)
+            produced += 1
+            pos = reader.position
+            continue
+        if produced + n >= nvalues:
+            need = nvalues - produced
+            if pos + int(hop_cums[window, need - 1]) > total_bits:
+                raise CorruptStreamError("bitstream exhausted")
+            append(window)
+            produced = nvalues
+            break
+        if pos + (cn >> 5) > total_bits:
+            # A mid-stream hop crosses the declared limit while every one of
+            # its symbols is still needed: the stream ran dry.
+            raise CorruptStreamError("bitstream exhausted")
+        append(window)
+        produced += n
+        pos += cn >> 5
+
+    wins_arr = np.array(wins, dtype=np.int64)
+    safe = np.where(wins_arr >= 0, wins_arr, 0)
+    cnt = np.where(wins_arr >= 0, hop_counts[safe], 1)
+    mat = hop_syms[safe]  # fresh gather: rows are writable
+    if long_syms:
+        mat[np.flatnonzero(wins_arr < 0), 0] = long_syms
+    emitted = mat[np.arange(hop_bits) < cnt[:, None]]
+    return emitted[:nvalues].astype(np.int64)
+
+
+#: Below this many values the hop-table build cost dominates; use the
+#: scalar loop (identical output — the differential suite pins both paths).
+_VECTOR_MIN_VALUES = 1024
+
+
+def huffman_decode(blob: bytes) -> tuple[np.ndarray, int]:
+    """Decode a blob produced by :func:`huffman_encode`.
+
+    Returns ``(symbols, bytes_consumed)`` so callers can embed the blob in a
+    larger container.  Large streams take the vectorized hop-table path;
+    tiny ones the scalar loop — both are pinned to identical output by the
+    differential test suite.
+    """
+    code, nvalues, total_bits, payload, consumed = _parse_stream(blob)
+    if nvalues == 0:
+        return np.empty(0, dtype=np.int64), consumed
+    if nvalues < _VECTOR_MIN_VALUES:
+        return _decode_scalar(code, nvalues, total_bits, payload), consumed
+    return _decode_vectorized(code, nvalues, total_bits, payload), consumed
+
+
+def huffman_decode_scalar(blob: bytes) -> tuple[np.ndarray, int]:
+    """Reference per-symbol decoder (differential-testing oracle).
+
+    Same contract as :func:`huffman_decode`; kept as the independent
+    implementation the hypothesis suite and the bench compare against, the
+    same pattern :mod:`repro.utils.bits` uses for the vectorized packer.
+    """
+    code, nvalues, total_bits, payload, consumed = _parse_stream(blob)
+    if nvalues == 0:
+        return np.empty(0, dtype=np.int64), consumed
+    return _decode_scalar(code, nvalues, total_bits, payload), consumed

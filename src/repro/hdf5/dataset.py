@@ -22,18 +22,28 @@ Three layouts cover the paper's three write paths:
 
 from __future__ import annotations
 
+import json
 import threading
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.cache import get_cache
 from repro.errors import FileFormatError, HDF5Error, InvalidStateError
 from repro.hdf5.datatype import dtype_from_tag, dtype_tag
 from repro.hdf5.filters import FilterPipeline
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec import Executor
     from repro.hdf5.file import File
+
+
+def _decode_partition_cell(item: tuple) -> np.ndarray:
+    """Decode one partition payload (module-level: picklable for the
+    process backend — raw bytes travel, open file handles do not)."""
+    payload, shape, dtype_str, filters_json = item
+    return FilterPipeline.from_json(filters_json).invert(payload, shape, dtype_str)
 
 
 class PartitionEntry:
@@ -112,6 +122,7 @@ class Dataset:
         self.filters = filters or FilterPipeline()
         self.attrs: dict = {}
         self._lock = threading.Lock()
+        self._filters_digest: str | None = None  # lazy cache-key component
         # contiguous state
         self._data_offset: int | None = None
         # chunked state: "i,j,k" -> [offset, stored_nbytes]
@@ -180,8 +191,13 @@ class Dataset:
             data.tobytes(), self._data_offset + start[0] * row_bytes
         )
 
-    def read(self) -> np.ndarray:
-        """Read the full array back (any layout)."""
+    def read(self, executor: "Executor | None" = None) -> np.ndarray:
+        """Read the full array back (any layout).
+
+        ``executor`` optionally fans the declared layout's per-partition
+        decodes out through :meth:`repro.exec.Executor.map_cells`; the
+        serial default is bit-identical.
+        """
         if self.layout == "contiguous":
             if self._data_offset is None:
                 raise InvalidStateError("dataset has no data yet")
@@ -191,7 +207,7 @@ class Dataset:
             return np.frombuffer(blob, dtype=self.dtype).reshape(self.shape).copy()
         if self.layout == "chunked":
             return self._read_chunked()
-        return self._read_declared()
+        return self._read_declared(executor)
 
     # -- chunked layout ------------------------------------------------------
 
@@ -347,6 +363,7 @@ class Dataset:
             self.file.storage.write_at(payload[:fits], entry.offset)
         with self._lock:
             entry.actual = len(payload)
+        get_cache().invalidate(self.file.cache_token, self.path, index)
         return len(payload) - fits
 
     def write_partition_overflow(self, index: int, tail: bytes, offset: int) -> None:
@@ -363,6 +380,7 @@ class Dataset:
         with self._lock:
             entry.overflow_offset = offset
             entry.overflow_nbytes = len(tail)
+        get_cache().invalidate(self.file.cache_token, self.path, index)
 
     def read_partition(self, index: int) -> bytes:
         """Reassemble one partition's stream (slot + overflow tail)."""
@@ -377,13 +395,17 @@ class Dataset:
             return main + tail
         return main
 
-    def read_region(self, slices: Sequence[slice]) -> np.ndarray:
+    def read_region(
+        self, slices: Sequence[slice], executor: "Executor | None" = None
+    ) -> np.ndarray:
         """Read a rectangular sub-region of the dataset.
 
         For the declared layout only the partitions whose recorded regions
         intersect the request are decoded — the partial-read path the
-        facade's ``ds[a:b, ...]`` indexing rides on.  Contiguous and
-        chunked layouts fall back to a full read plus slicing.
+        facade's ``ds[a:b, ...]`` indexing rides on.  ``executor``
+        optionally decodes the intersecting partitions in parallel (the
+        serial default is bit-identical).  Contiguous and chunked layouts
+        fall back to a full read plus slicing.
         """
         if len(slices) != len(self.shape):
             raise HDF5Error("region rank mismatch")
@@ -396,6 +418,7 @@ class Dataset:
         if self.layout != "declared":
             return self.read()[tuple(slice(a, b) for a, b in bounds)]
         out = np.zeros(tuple(b - a for a, b in bounds), dtype=self.dtype)
+        targets = []
         for index, entry in sorted(self._partitions.items()):
             if entry.region is None:
                 raise HDF5Error("cannot read by region: partitions carry no regions")
@@ -405,7 +428,9 @@ class Dataset:
             ]
             if any(a >= b for a, b in clipped):
                 continue  # no overlap with the request
-            block = self.read_partition_array(index)
+            targets.append((index, entry, clipped))
+        blocks = self._partition_arrays([t[0] for t in targets], executor)
+        for (index, entry, clipped), block in zip(targets, blocks):
             src = tuple(
                 slice(a - ra, b - ra)
                 for (a, b), (ra, _) in zip(clipped, entry.region)
@@ -417,29 +442,102 @@ class Dataset:
             out[dst] = block[src]
         return out
 
-    def read_partition_array(self, index: int) -> np.ndarray:
-        """Decode one partition through the (array) filter pipeline."""
-        payload = self.read_partition(index)
-        if not self.filters.has_array_filter:
-            raise HDF5Error("declared dataset has no array filter to decode with")
-        entry = self.partition(index)
+    def _cache_key(self, index: int) -> tuple[int, str, int, str]:
+        """The partition's decoded-cache key: (file, path, index, filters).
+
+        The filters digest covers every pipeline option — error bound
+        included — so a re-declared bound can never serve stale decodes.
+        """
+        if self._filters_digest is None:
+            self._filters_digest = json.dumps(self.filters.to_json(), sort_keys=True)
+        return (self.file.cache_token, self.path, index, self._filters_digest)
+
+    def _partition_shape(self, entry: PartitionEntry) -> tuple[int, ...] | None:
         # Region-less partitions decode against the stream's self-described
         # shape (shape=None skips the cross-check); a recorded region —
         # including a zero-size one — is verified exactly.
-        shape = (
+        return (
             tuple(b - a for a, b in entry.region)
             if entry.region is not None
             else None
         )
-        data = self.filters.invert(payload, shape, dtype_tag(self.dtype))
-        return data
 
-    def _read_declared(self) -> np.ndarray:
+    def read_partition_array(self, index: int) -> np.ndarray:
+        """Decode one partition through the (array) filter pipeline.
+
+        Decoded arrays are served **read-only** from the process-wide
+        decoded-partition cache (:mod:`repro.cache`); copy before mutating.
+        """
+        cached = get_cache().get(self._cache_key(index))
+        if cached is not None:
+            self.file.read_stats.record_hit()
+            return cached
+        payload = self.read_partition(index)
+        if not self.filters.has_array_filter:
+            raise HDF5Error("declared dataset has no array filter to decode with")
+        entry = self.partition(index)
+        data = self.filters.invert(
+            payload, self._partition_shape(entry), dtype_tag(self.dtype)
+        )
+        self.file.read_stats.record_decode(data.nbytes)
+        return get_cache().put(self._cache_key(index), data)
+
+    def _partition_arrays(
+        self, indexes: Sequence[int], executor: "Executor | None" = None
+    ) -> list[np.ndarray]:
+        """Decoded (read-only) arrays for ``indexes``, in order.
+
+        Cache hits are collected up front; the remaining decodes either run
+        inline (serial / no executor) or fan out through
+        ``executor.map_cells`` on raw payload bytes — picklable items and a
+        module-level cell function, so the process backend works too.  The
+        slot/overflow ``pread`` calls stay on the calling thread: positioned
+        reads are cheap and thread-safe, decode is the CPU-bound part.
+        """
+        indexes = list(indexes)
+        if (
+            executor is None
+            or not getattr(executor, "cells_parallel_here", False)
+            or len(indexes) <= 1
+        ):
+            return [self.read_partition_array(i) for i in indexes]
+        cache = get_cache()
+        results: dict[int, np.ndarray] = {}
+        misses: list[int] = []
+        for i in indexes:
+            hit = cache.get(self._cache_key(i))
+            if hit is not None:
+                self.file.read_stats.record_hit()
+                results[i] = hit
+            else:
+                misses.append(i)
+        if misses:
+            if not self.filters.has_array_filter:
+                raise HDF5Error("declared dataset has no array filter to decode with")
+            filters_json = self.filters.to_json()
+            dtype_str = dtype_tag(self.dtype)
+            items = [
+                (
+                    self.read_partition(i),
+                    self._partition_shape(self.partition(i)),
+                    dtype_str,
+                    filters_json,
+                )
+                for i in misses
+            ]
+            for i, data in zip(misses, executor.map_cells(_decode_partition_cell, items)):
+                self.file.read_stats.record_decode(data.nbytes)
+                results[i] = cache.put(self._cache_key(i), data)
+        return [results[i] for i in indexes]
+
+    def _read_declared(self, executor: "Executor | None" = None) -> np.ndarray:
         out = np.zeros(self.shape, dtype=self.dtype)
-        for index, entry in sorted(self._partitions.items()):
+        entries = sorted(self._partitions.items())
+        for _, entry in entries:
             if entry.region is None:
                 raise HDF5Error("cannot reassemble: partitions carry no regions")
-            data = self.read_partition_array(index)
+        blocks = self._partition_arrays([i for i, _ in entries], executor)
+        for (_, entry), data in zip(entries, blocks):
             sl = tuple(slice(a, b) for a, b in entry.region)
             out[sl] = data
         return out

@@ -18,16 +18,66 @@ SWMR), which the format checks explicitly.
 
 from __future__ import annotations
 
+import itertools
 import threading
 
 import numpy as np
 
+from repro.cache import get_cache
 from repro.errors import HDF5Error, InvalidStateError
 from repro.hdf5.dataset import Dataset
 from repro.hdf5.group import Group
 from repro.hdf5.properties import DatasetCreateProps, FileAccessProps
 from repro.hdf5.storage import FileStorage
 from repro.hdf5.async_io import AsyncIOEngine
+
+#: Process-unique file identities for decoded-partition cache keys: two
+#: opens of the same path must never share cache entries.
+_FILE_TOKENS = itertools.count(1)
+
+
+class ReadStats:
+    """Per-file read-path accounting (thread-safe counters).
+
+    Tracks what the declared-layout read path actually did: how many
+    partitions were decoded from bytes, how many were served from the
+    decoded-partition cache, and how many uncompressed bytes decoding
+    produced.  Surfaced by ``repro.tools.inspect summary`` and the read
+    bench.
+    """
+
+    __slots__ = ("_lock", "partitions_decoded", "bytes_decoded", "cache_hits")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.partitions_decoded = 0
+        self.bytes_decoded = 0
+        self.cache_hits = 0
+
+    def record_decode(self, nbytes: int) -> None:
+        """Count one partition decoded from stored bytes."""
+        with self._lock:
+            self.partitions_decoded += 1
+            self.bytes_decoded += int(nbytes)
+
+    def record_hit(self) -> None:
+        """Count one partition served from the decoded-partition cache."""
+        with self._lock:
+            self.cache_hits += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over all partition reads (0.0 before any read)."""
+        total = self.cache_hits + self.partitions_decoded
+        return self.cache_hits / total if total else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "partitions_decoded": self.partitions_decoded,
+            "bytes_decoded": self.bytes_decoded,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+        }
 
 
 class File:
@@ -41,6 +91,8 @@ class File:
         self.fapl = fapl or FileAccessProps()
         self.storage = FileStorage(path, mode)
         self.root = Group(self, "/")
+        self.cache_token = next(_FILE_TOKENS)
+        self.read_stats = ReadStats()
         self._async_engine: AsyncIOEngine | None = None
         self._engine_lock = threading.Lock()
         if mode in ("r", "r+"):
@@ -78,6 +130,8 @@ class File:
         """Flush metadata (writable modes) and close (idempotent)."""
         if self.storage.closed:
             return
+        # This identity can never be read again; purge its cached decodes.
+        get_cache().invalidate(self.cache_token)
         if self._async_engine is not None:
             self._async_engine.shutdown()
             self._async_engine = None

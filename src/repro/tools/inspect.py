@@ -15,7 +15,9 @@ prints a declared dataset's partition table (offsets, reserved vs actual,
 overflow redirections).  ``summary`` reads the file through the
 :mod:`repro.api` facade and pretty-prints what the facade recorded: one
 row per dataset with its declared error bound, write strategy, SPMD
-width, step count (time-axis datasets), and compression ratio.
+width, step count (time-axis datasets), and compression ratio, plus a
+read-path footer (partitions decoded, decoded-partition cache hit-rate,
+bytes decoded; ``--no-read-stats`` skips the probe reads behind it).
 """
 
 from __future__ import annotations
@@ -169,7 +171,37 @@ def cmd_summary(args: argparse.Namespace) -> int:
                   f"{(f'{bound:.1e}' if bound is not None else 'exact'):>9s} "
                   f"{strategy:>8s} {str(nranks):>5s} {str(n_steps):>5s} "
                   f"{ratio:>7.2f}")
+        if not args.no_read_stats:
+            _print_read_stats(f, datasets)
     return 0
+
+
+def _print_read_stats(f, datasets) -> None:
+    """The summary's read-path footer.
+
+    Decodes every snapshot dataset twice through the facade — the first
+    pass measures decode volume, the second shows what the decoded-
+    partition cache absorbs — and prints the per-file counters plus the
+    process-wide cache occupancy.
+    """
+    from repro.cache import cache_stats
+
+    probe = [ds for ds in datasets if not ds.time_axis and ds.written]
+    if not probe:
+        return
+    for ds in probe:
+        ds[...]
+        ds[...]
+    stats = f.read_stats
+    cache = cache_stats()
+    print(f"\nread path ({len(probe)} dataset(s), two passes each):")
+    print(f"  partitions decoded: {stats.partitions_decoded}, "
+          f"cache hits: {stats.cache_hits}, "
+          f"hit rate: {stats.hit_rate:.2f}")
+    print(f"  bytes decoded: {stats.bytes_decoded}")
+    print(f"  process cache: {cache.entries} entries, "
+          f"{cache.current_bytes}/{cache.max_bytes} bytes"
+          + ("" if cache.max_bytes else " (disabled)"))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -195,6 +227,10 @@ def main(argv: list[str] | None = None) -> int:
         "summary", help="facade view: per-dataset bound/strategy/steps/ratio"
     )
     p_summary.add_argument("path")
+    p_summary.add_argument("--no-read-stats", action="store_true",
+                           help="skip the read-path probe (which decodes "
+                                "every snapshot dataset twice to report "
+                                "partition decode counts and cache hit-rate)")
     p_summary.set_defaults(fn=cmd_summary)
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -192,3 +192,9 @@ class BitReader:
         if nbits > self.remaining:
             raise CorruptStreamError("bitstream exhausted")
         self._pos += nbits
+
+    def seek(self, pos: int) -> None:
+        """Move the cursor to absolute bit position ``pos``."""
+        if pos < 0 or pos > self._limit:
+            raise CorruptStreamError("seek outside bitstream")
+        self._pos = pos

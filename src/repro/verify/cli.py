@@ -1,6 +1,6 @@
 """``python -m repro.verify`` — the end-to-end verification suite.
 
-Three pillars, one schema-versioned artifact:
+Four pillars, one schema-versioned artifact:
 
 1. **Round-trip certification** — every requested scenario × strategy is
    written through the production driver on the serial backend and read
@@ -17,6 +17,10 @@ Three pillars, one schema-versioned artifact:
 3. **Scenario fuzzing** — seeded perturbations of the named regimes
    (fields/ranks/shape/dtype/bound/extra-space), each written and
    certified, failures shrunk to minimal repro configs.
+4. **Read-route parity** — every scenario file read through every
+   read-side route (cached, executor-parallel decode, >=4 concurrent
+   readers, sub-regions) fingerprinted against the cold serial read;
+   any divergence fails the run (see :mod:`repro.verify.readpath`).
 
 Usage::
 
@@ -44,6 +48,7 @@ from repro.exec import EXECUTOR_NAMES
 from repro.verify.certify import CertificationReport, certify, certify_codecs
 from repro.verify.fuzz import fuzz
 from repro.verify.parity import CANONICAL_SCENARIO, differential_parity
+from repro.verify.readpath import run_read_parity
 from repro.verify.report import build_report, save_report
 from repro.verify.workloads import (
     reference_fields,
@@ -130,6 +135,9 @@ def _parse_args(argv) -> argparse.Namespace:
                         help="base seed for payload generation and fuzzing")
     parser.add_argument("--skip-parity", action="store_true",
                         help="skip the strategy x backend parity pillar")
+    parser.add_argument("--skip-read-parity", action="store_true",
+                        help="skip the read-route parity pillar (cached / "
+                             "parallel / concurrent reads vs cold serial)")
     parser.add_argument("--skip-facade", action="store_true",
                         help="skip the repro.open facade certification cells")
     parser.add_argument("--skip-codecs", action="store_true",
@@ -169,10 +177,16 @@ def main(argv=None) -> int:
         if n_fuzz > 0
         else None
     )
+    strategy = "reorder" if "reorder" in strategies else strategies[0]
+    read_parity = (
+        None
+        if args.skip_read_parity
+        else run_read_parity(scenarios, strategy=strategy, seed=args.seed)
+    )
 
     report = build_report(
         certifications, parity, codecs, fuzz_report,
-        quick=args.quick, seed=args.seed,
+        quick=args.quick, seed=args.seed, read_parity=read_parity,
     )
     out_dir = args.out or results_dir()
     path = save_report(report, out_dir)
@@ -196,6 +210,11 @@ def main(argv=None) -> int:
     if codecs is not None:
         bad = [c for c in codecs if not c.passed]
         print(f"codec round-trips: {len(codecs) - len(bad)}/{len(codecs)} passed")
+    if read_parity is not None:
+        bad = [k for k, rp in read_parity.items() if not rp.passed]
+        routes = sorted({c.route for rp in read_parity.values() for c in rp.cells})
+        state = "identical" if not bad else f"DIVERGENT {bad}"
+        print(f"read parity ({', '.join(routes)}) x {len(read_parity)} scenarios: {state}")
     if fuzz_report is not None:
         print(
             f"fuzz: {len(fuzz_report.cases)} cases, "

@@ -18,9 +18,12 @@ from repro.bench.cli import git_sha
 from repro.verify.certify import CertificationReport, CodecCertificate
 from repro.verify.fuzz import FuzzReport
 from repro.verify.parity import ParityResult
+from repro.verify.readpath import ReadParityResult
 
 #: Verify artifact schema (bump on any shape change).
-SCHEMA = "repro-verify/1"
+#: v2: added the ``read_parity`` pillar (cached / parallel / concurrent
+#: read routes fingerprinted against cold serial).
+SCHEMA = "repro-verify/2"
 
 
 def build_report(
@@ -30,6 +33,7 @@ def build_report(
     fuzz: FuzzReport | None,
     quick: bool,
     seed: int,
+    read_parity: "Mapping[str, ReadParityResult] | None" = None,
 ) -> dict:
     """Assemble the schema-versioned artifact from the pillar results.
 
@@ -62,6 +66,14 @@ def build_report(
     if fuzz is not None:
         for f in fuzz.failures:
             failures.append(f"fuzz {f.minimal.label}: {f.error}")
+    if read_parity is not None:
+        for key, rp in sorted(read_parity.items()):
+            for route in rp.mismatches:
+                failures.append(
+                    f"read parity {key}: route {route!r} diverged from cold serial"
+                )
+            for err in rp.errors:
+                failures.append(f"read parity {key}: {err}")
     return {
         "schema": SCHEMA,
         "git_sha": git_sha(),
@@ -75,6 +87,11 @@ def build_report(
         },
         "certification": cert_json,
         "parity": parity.to_json() if parity is not None else None,
+        "read_parity": (
+            {k: v.to_json() for k, v in sorted(read_parity.items())}
+            if read_parity is not None
+            else None
+        ),
         "codecs": [c.to_json() for c in codecs] if codecs is not None else None,
         "fuzz": fuzz.to_json() if fuzz is not None else None,
         "passed": not failures,

@@ -78,6 +78,29 @@ class TestBitWriterReader:
         with pytest.raises(CorruptStreamError):
             r.skip(1)
 
+    def test_seek_repositions_absolutely(self):
+        r = BitReader(b"\xa5", 8)
+        r.read(6)
+        r.seek(0)
+        assert r.position == 0
+        assert r.read(8) == 0xA5
+        r.seek(4)
+        assert r.read(4) == 0xA
+
+    def test_seek_to_limit_then_read_exhausts(self):
+        r = BitReader(b"\xff", 8)
+        r.seek(8)
+        with pytest.raises(CorruptStreamError):
+            r.read(1)
+
+    def test_seek_out_of_range_rejected(self):
+        r = BitReader(b"\xff", 8)
+        with pytest.raises(CorruptStreamError):
+            r.seek(-1)
+        with pytest.raises(CorruptStreamError):
+            r.seek(9)
+        assert r.position == 0  # failed seeks leave the cursor alone
+
 
 class TestPackVarlenCodes:
     def test_empty_input(self):

@@ -1,0 +1,197 @@
+"""Unit tests for the decoded-partition LRU cache (repro.cache)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    DEFAULT_MAX_BYTES,
+    ENV_MAX_BYTES,
+    DecodedPartitionCache,
+    cache_stats,
+    get_cache,
+)
+from repro.cache.lru import _default_max_bytes
+
+
+def _arr(n: int, fill: float = 0.0) -> np.ndarray:
+    return np.full(n // 8, fill, dtype=np.float64)  # n bytes exactly
+
+
+def _key(token: int, dataset: str = "/d", index: int = 0, digest: str = "f"):
+    return (token, dataset, index, digest)
+
+
+class TestLRUSemantics:
+    def test_miss_then_hit(self):
+        c = DecodedPartitionCache(max_bytes=1024)
+        k = _key(1)
+        assert c.get(k) is None
+        c.put(k, _arr(64))
+        got = c.get(k)
+        assert got is not None and got.nbytes == 64
+        s = c.stats()
+        assert (s.hits, s.misses, s.insertions) == (1, 1, 1)
+
+    def test_returned_arrays_are_read_only(self):
+        c = DecodedPartitionCache(max_bytes=1024)
+        stored = c.put(_key(1), _arr(64))
+        assert not stored.flags.writeable
+        cached = c.get(_key(1))
+        with pytest.raises(ValueError):
+            cached[0] = 1.0
+
+    def test_byte_budget_evicts_lru_first(self):
+        c = DecodedPartitionCache(max_bytes=256)
+        c.put(_key(1, index=0), _arr(128))
+        c.put(_key(1, index=1), _arr(128))
+        c.get(_key(1, index=0))  # 0 is now most-recent; 1 is the LRU victim
+        c.put(_key(1, index=2), _arr(128))
+        assert c.get(_key(1, index=0)) is not None
+        assert c.get(_key(1, index=1)) is None
+        assert c.get(_key(1, index=2)) is not None
+        assert c.stats().evictions == 1
+        assert c.stats().current_bytes == 256
+
+    def test_oversized_entry_not_cached_but_frozen(self):
+        c = DecodedPartitionCache(max_bytes=100)
+        out = c.put(_key(1), _arr(128))
+        assert not out.flags.writeable  # caller semantics independent of caching
+        assert len(c) == 0
+
+    def test_replacement_updates_budget_exactly(self):
+        c = DecodedPartitionCache(max_bytes=256)
+        c.put(_key(1), _arr(128, 1.0))
+        c.put(_key(1), _arr(64, 2.0))
+        s = c.stats()
+        assert s.entries == 1
+        assert s.current_bytes == 64
+        assert c.get(_key(1))[0] == 2.0
+
+
+class TestInvalidation:
+    def test_by_partition_dataset_and_file(self):
+        c = DecodedPartitionCache(max_bytes=4096)
+        for token in (1, 2):
+            for ds in ("/a", "/b"):
+                for idx in (0, 1):
+                    c.put(_key(token, ds, idx), _arr(8))
+        assert c.invalidate(1, "/a", 0) == 1
+        assert c.invalidate(1, "/b") == 2
+        assert c.invalidate(2) == 4
+        assert len(c) == 1  # only (1, "/a", 1) survives
+        assert c.get(_key(1, "/a", 1)) is not None
+
+    def test_invalidate_restores_budget(self):
+        c = DecodedPartitionCache(max_bytes=256)
+        c.put(_key(1), _arr(128))
+        c.invalidate(1)
+        assert c.stats().current_bytes == 0
+        # Freed budget is genuinely reusable.
+        c.put(_key(2, index=0), _arr(128))
+        c.put(_key(2, index=1), _arr(128))
+        assert len(c) == 2
+
+    def test_clear(self):
+        c = DecodedPartitionCache(max_bytes=256)
+        c.put(_key(1), _arr(64))
+        c.clear()
+        assert len(c) == 0 and c.stats().current_bytes == 0
+
+
+class TestConfiguration:
+    def test_zero_budget_disables(self):
+        c = DecodedPartitionCache(max_bytes=0)
+        assert not c.enabled
+        c.put(_key(1), _arr(8))
+        assert len(c) == 0
+        assert c.get(_key(1)) is None
+
+    def test_shrink_evicts_immediately(self):
+        c = DecodedPartitionCache(max_bytes=1024)
+        for i in range(4):
+            c.put(_key(1, index=i), _arr(128))
+        c.configure(256)
+        assert c.stats().current_bytes <= 256
+        assert len(c) == 2
+        # LRU-first: the oldest two went.
+        assert c.get(_key(1, index=3)) is not None
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_MAX_BYTES, "12345")
+        assert _default_max_bytes() == 12345
+        assert DecodedPartitionCache().max_bytes == 12345
+        monkeypatch.setenv(ENV_MAX_BYTES, "0")
+        assert not DecodedPartitionCache().enabled
+        monkeypatch.setenv(ENV_MAX_BYTES, "not-a-number")
+        assert _default_max_bytes() == DEFAULT_MAX_BYTES
+        monkeypatch.delenv(ENV_MAX_BYTES)
+        assert _default_max_bytes() == DEFAULT_MAX_BYTES
+
+    def test_global_singleton(self):
+        assert get_cache() is get_cache()
+        assert cache_stats().max_bytes == get_cache().max_bytes
+
+
+class TestStats:
+    def test_hit_rate(self):
+        c = DecodedPartitionCache(max_bytes=1024)
+        assert c.stats().hit_rate == 0.0
+        c.put(_key(1), _arr(8))
+        c.get(_key(1))
+        c.get(_key(1))
+        c.get(_key(2))
+        assert c.stats().hit_rate == pytest.approx(2 / 3)
+
+    def test_reset_stats_keeps_entries(self):
+        c = DecodedPartitionCache(max_bytes=1024)
+        c.put(_key(1), _arr(8))
+        c.get(_key(1))
+        c.reset_stats()
+        s = c.stats()
+        assert (s.hits, s.misses, s.insertions, s.evictions) == (0, 0, 0, 0)
+        assert s.entries == 1
+
+    def test_to_json_shape(self):
+        s = DecodedPartitionCache(max_bytes=64).stats()
+        j = s.to_json()
+        for field in ("hits", "misses", "evictions", "insertions",
+                      "entries", "current_bytes", "max_bytes", "hit_rate"):
+            assert field in j
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations(self):
+        # 8 threads hammering put/get/invalidate under a budget small
+        # enough to force constant eviction; the invariant under test is
+        # internal consistency (no negative budget, no lost lock).
+        c = DecodedPartitionCache(max_bytes=64 * 100)
+        errors: list[BaseException] = []
+
+        def worker(tid: int) -> None:
+            try:
+                for i in range(300):
+                    k = _key(tid % 4, index=i % 25)
+                    c.put(k, _arr(64, float(tid)))
+                    got = c.get(k)
+                    if got is not None:
+                        assert got.nbytes == 64
+                    if i % 50 == 49:
+                        c.invalidate(tid % 4)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        s = c.stats()
+        assert s.current_bytes >= 0
+        assert s.current_bytes <= s.max_bytes
+        assert s.entries == len(c)
+        assert s.current_bytes == s.entries * 64

@@ -7,9 +7,14 @@ from hypothesis import strategies as st
 
 from repro.compression.huffman import (
     MAX_CODE_LEN,
+    TABLE_BITS,
+    _decode_scalar,
+    _decode_vectorized,
+    _parse_stream,
     build_code,
     deserialize_code,
     huffman_decode,
+    huffman_decode_scalar,
     huffman_encode,
     serialize_code,
 )
@@ -174,3 +179,191 @@ class TestEncodeDecode:
         out, consumed = huffman_decode(blob)
         assert np.array_equal(out, symbols)
         assert consumed == len(blob)
+
+
+def _deep_tree_symbols(nlevels: int) -> np.ndarray:
+    """Symbols with Fibonacci-like frequencies: a maximally deep tree.
+
+    ``nlevels`` controls the depth — above ~``TABLE_BITS`` levels the rare
+    symbols get codes longer than the decode table covers, exercising the
+    long-code walker path.  Fibonacci counts grow exponentially, so keep
+    ``nlevels`` modest (each extra level ~1.6×s the array).
+    """
+    counts = []
+    a, b = 1, 2
+    for _ in range(nlevels):
+        counts.append(a)
+        a, b = b, a + b
+    rng = np.random.default_rng(nlevels)
+    symbols = np.repeat(np.arange(nlevels, dtype=np.int64), counts)
+    rng.shuffle(symbols)
+    return symbols
+
+
+def _encode_with_code(code, symbols: np.ndarray) -> bytes:
+    """Serialize ``symbols`` under an explicitly chosen ``code``.
+
+    Mirrors :func:`huffman_encode`'s blob layout but with a caller-supplied
+    code, so tests can exercise code shapes (e.g. the fixed-length
+    fallback) whose natural frequency distributions would need billions of
+    symbols to arise from ``build_code`` on real data.
+    """
+    import struct
+
+    from repro.utils.bits import pack_varlen_codes
+
+    head = serialize_code(code, symbols.size)
+    payload, total_bits = pack_varlen_codes(
+        code.codes[symbols], code.lengths[symbols].astype(np.int64)
+    )
+    return head + struct.pack("<Q", total_bits) + payload
+
+
+class TestDifferentialVsScalarOracle:
+    """Pin the vectorized decoder byte-for-byte to the scalar oracle.
+
+    The scalar per-symbol loop is retained as ``huffman_decode_scalar``
+    precisely so this suite can hold the hop-table decoder to bit-exact
+    equivalence across every code-shape regime: skewed table-only codes,
+    long codes past ``TABLE_BITS``, and the fixed-length fallback.
+    """
+
+    def _assert_identical(self, symbols: np.ndarray, nsymbols: int) -> None:
+        blob = huffman_encode(symbols, nsymbols)
+        fast, consumed_fast = huffman_decode(blob)
+        slow, consumed_slow = huffman_decode_scalar(blob)
+        assert consumed_fast == consumed_slow == len(blob)
+        assert fast.dtype == slow.dtype
+        assert np.array_equal(fast, slow)
+        assert np.array_equal(fast, symbols)
+        # Also force the vectorized kernel directly: public huffman_decode
+        # routes tiny streams to the scalar path, which must not mask a
+        # small-stream bug in the kernel itself.
+        code, nvalues, total_bits, payload, _ = _parse_stream(blob)
+        if nvalues:
+            assert np.array_equal(
+                _decode_vectorized(code, nvalues, total_bits, payload), symbols
+            )
+
+    @given(seed=st.integers(0, 2**32 - 1), scale=st.floats(0.5, 40.0))
+    @settings(max_examples=30, deadline=None)
+    def test_skewed_distributions(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 5000))
+        symbols = np.clip(rng.normal(512, scale, n), 0, 1023).astype(np.int64)
+        self._assert_identical(symbols, 1024)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_uniform_and_sparse_alphabets(self, seed):
+        rng = np.random.default_rng(seed)
+        nsymbols = int(rng.integers(2, 300))
+        n = int(rng.integers(1, 3000))
+        symbols = rng.integers(0, nsymbols, n).astype(np.int64)
+        self._assert_identical(symbols, nsymbols)
+
+    @given(nlevels=st.integers(TABLE_BITS + 2, TABLE_BITS + 12))
+    @settings(max_examples=10, deadline=None)
+    def test_long_code_path(self, nlevels):
+        symbols = _deep_tree_symbols(nlevels)
+        code = build_code(np.bincount(symbols, minlength=nlevels))
+        assert code.max_length > TABLE_BITS  # the regime under test
+        self._assert_identical(symbols, nlevels)
+
+    def test_very_long_codes_near_cap(self):
+        # Codes approaching MAX_CODE_LEN cannot arise from feasible symbol
+        # counts, so encode under a hand-picked deep code instead.
+        n = MAX_CODE_LEN + 2  # deep enough that build_code would overflow...
+        counts = np.ones(n, dtype=np.int64)
+        a, b = 1, 2
+        for i in range(n):
+            counts[i] = a
+            a, b = b, a + b
+        deep = build_code(counts)  # ...but the builder caps or falls back
+        assert deep.max_length <= MAX_CODE_LEN
+        rng = np.random.default_rng(11)
+        symbols = rng.integers(0, n, 4000).astype(np.int64)
+        blob = _encode_with_code(deep, symbols)
+        fast, _ = huffman_decode(blob)
+        slow, _ = huffman_decode_scalar(blob)
+        assert np.array_equal(fast, slow)
+        assert np.array_equal(fast, symbols)
+
+    def test_fixed_fallback(self):
+        # Frequencies past the depth cap flip build_code to fixed-length
+        # codes; encode a feasible stream under that code explicitly.
+        nlevels = MAX_CODE_LEN + 6
+        counts = np.ones(nlevels, dtype=np.int64)
+        a, b = 1, 2
+        for i in range(nlevels):
+            counts[i] = a
+            a, b = b, a + b
+        fixed = build_code(counts)
+        assert fixed.fixed
+        rng = np.random.default_rng(13)
+        symbols = rng.integers(0, nlevels, 5000).astype(np.int64)
+        blob = _encode_with_code(fixed, symbols)
+        fast, _ = huffman_decode(blob)
+        slow, _ = huffman_decode_scalar(blob)
+        assert np.array_equal(fast, slow)
+        assert np.array_equal(fast, symbols)
+
+    def test_large_stream_routes_through_vectorized(self):
+        # Above _VECTOR_MIN_VALUES the public entry point uses the hop
+        # decoder; equality with the oracle here is the acceptance check.
+        rng = np.random.default_rng(7)
+        symbols = np.clip(rng.normal(100, 3, 200_000), 0, 255).astype(np.int64)
+        blob = huffman_encode(symbols, 256)
+        fast, _ = huffman_decode(blob)
+        slow, _ = huffman_decode_scalar(blob)
+        assert np.array_equal(fast, slow)
+
+    @given(seed=st.integers(0, 2**32 - 1), junk=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=20, deadline=None)
+    def test_trailing_garbage_ignored(self, seed, junk):
+        # Regression for the exact word-rounded payload slice: bytes after
+        # ceil(total_bits/64) words belong to the *next* stream in the
+        # container and must affect neither decoder nor ``consumed``.
+        rng = np.random.default_rng(seed)
+        symbols = rng.integers(0, 64, 2000).astype(np.int64)
+        blob = huffman_encode(symbols, 64)
+        for decode in (huffman_decode, huffman_decode_scalar):
+            out, consumed = decode(blob + junk)
+            assert consumed == len(blob)
+            assert np.array_equal(out, symbols)
+
+    def test_payload_slice_is_word_rounded_exactly(self):
+        symbols = np.arange(1000, dtype=np.int64) % 17
+        blob = huffman_encode(symbols, 17)
+        _, _, total_bits, payload, consumed = _parse_stream(blob)
+        assert len(payload) == (-(-total_bits // 64)) * 8
+        assert consumed == len(blob)
+
+    @given(frac=st.floats(0.0, 0.999), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_truncated_payload_same_error_both_decoders(self, frac, seed):
+        rng = np.random.default_rng(seed)
+        symbols = rng.integers(0, 128, 3000).astype(np.int64)
+        blob = huffman_encode(symbols, 128)
+        code, nvalues, total_bits, payload, _ = _parse_stream(blob)
+        cut = int(len(payload) * frac) // 8 * 8  # keep whole words
+        if cut == len(payload):
+            return
+        short = payload[:cut]
+        bits = cut * 8
+        outcomes = []
+        for decode in (_decode_scalar, _decode_vectorized):
+            try:
+                out = decode(code, nvalues, min(total_bits, bits), short)
+                outcomes.append(("ok", out.tobytes()))
+            except CorruptStreamError as exc:
+                outcomes.append(("err", str(exc)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_truncated_blob_rejected(self):
+        symbols = np.ones(500, dtype=np.int64)
+        blob = huffman_encode(symbols, 4)
+        with pytest.raises(CorruptStreamError):
+            huffman_decode(blob[:-8])
+        with pytest.raises(CorruptStreamError):
+            huffman_decode_scalar(blob[:-8])

@@ -83,6 +83,23 @@ def test_inspect_summary_engine_written_file(tmp_path, capsys):
     assert "1.0e-03" in out  # bound recovered from the SZ filter options
 
 
+def test_inspect_summary_read_stats_footer(facade_file, capsys):
+    assert main(["inspect", "summary", facade_file]) == 0
+    out = capsys.readouterr().out
+    assert "read path" in out
+    assert "partitions decoded:" in out and "hit rate:" in out
+    assert "bytes decoded:" in out and "process cache:" in out
+    # Two passes over each snapshot dataset: the second is served by the
+    # decoded-partition cache, so the reported hit rate is exactly 0.50.
+    assert "hit rate: 0.50" in out
+
+
+def test_inspect_summary_no_read_stats_flag(facade_file, capsys):
+    assert main(["inspect", "summary", facade_file, "--no-read-stats"]) == 0
+    out = capsys.readouterr().out
+    assert "read path" not in out
+
+
 def test_setup_declares_console_script():
     with open("setup.py", encoding="utf-8") as f:
         text = f.read()
