@@ -77,7 +77,8 @@ def open(
     strategy: str = "reorder",
     machine: str = "bebop",
     executor: "str | Executor | None" = None,
-) -> "File":
+    server: str | None = None,
+):
     """Open a PHD5 container behind the h5py-style facade.
 
     Parameters
@@ -101,7 +102,27 @@ def open(
         Calibrated machine profile for ordering/tuning models.
     executor:
         Fan-out backend (name, instance, or None → the config's).
+    server:
+        Address of a running ``repro serve`` daemon (``"host:port"`` or a
+        unix socket path).  Writes then route over the wire and coalesce
+        with other clients' requests into shared collective runs; the
+        returned :class:`~repro.serve.client.RemoteFile` supports the
+        write surface (``create_dataset``, ``ds[region] = arr``,
+        ``append_step``, ``flush``, ``close``).  Read the finished file
+        with a plain local ``repro.open(path)``.
     """
+    if server is not None:
+        if comm is not None:
+            raise ConfigError(
+                "server= routes writes through the ingest daemon; comm= "
+                "(caller-managed SPMD) cannot combine with it"
+            )
+        from repro.serve.client import open_remote
+
+        return open_remote(
+            server, path, mode,
+            config=config, nranks=nranks, strategy=strategy, machine=machine,
+        )
     if comm is None:
         return File(
             path, mode, config=config, nranks=nranks, strategy=strategy,
@@ -512,6 +533,39 @@ class File(Group):
             report = self.verify()
             self.verification = report
             report.raise_on_failure()
+
+    def discard_incomplete(self, only: "set[str] | None" = None) -> list[str]:
+        """Drop snapshot datasets whose staged blocks do not tile their
+        extent (and any partially staged step), so :meth:`close` can
+        proceed; returns the dropped dataset paths.
+
+        The ingest daemon uses this when a client disconnects mid-stream:
+        the orphaned partial data must not wedge the shared file open
+        forever, and silently writing a half-staged dataset would violate
+        the predictive plan's full-extent requirement.  ``only`` restricts
+        the sweep to the named datasets (the daemon passes the
+        disconnected client's own datasets so other clients' in-progress
+        staging survives); None sweeps everything.
+        """
+        allowed = (
+            None if only is None else {n.lstrip("/") for n in only}
+        )
+        doomed = [
+            path
+            for path, ds in self._datasets.items()
+            if not ds.time_axis
+            and ds._engine is None
+            and ds._blocks
+            and not ds._complete()
+            and (allowed is None or path.lstrip("/") in allowed)
+        ]
+        for path in doomed:
+            del self._datasets[path]
+        if self._step_stage and only is None:
+            staged = sorted(self._step_stage)
+            self._step_stage = {}
+            doomed.append(f"step {self.steps_written} ({', '.join(staged)})")
+        return doomed
 
     def _persist_facade_metadata(self) -> None:
         root = self._engine.root.attrs

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.bench.harness import format_table, results_dir
 from repro.bench.read import measure_read_extras
+from repro.bench.serve import measure_serve_saturation
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import RealDriver
 from repro.core.scenarios import Scenario, get_scenario
@@ -48,7 +49,9 @@ from repro.hdf5.properties import FileAccessProps
 #: Bench artifact schema (bump on any shape change).
 #: v2: added the ``read`` matrix bench and the artifact-level ``read``
 #: section (hotspot trace + decode speedup).
-SCHEMA = "repro-bench/2"
+#: v3: added the ``serve`` saturation section (N concurrent daemon
+#: clients vs the serial sum of N direct facade writes).
+SCHEMA = "repro-bench/3"
 
 #: The fixed scenario triple: balanced (the paper's target regime),
 #: latency-dominated many-small-fields, and incompressible noise.
@@ -383,6 +386,7 @@ def build_report(
     repeats: int,
     facade_overhead: "dict[str, float] | None" = None,
     read_extras: "dict | None" = None,
+    serve_saturation: "dict | None" = None,
 ) -> dict:
     """Assemble the schema-versioned artifact."""
     idx = _index(cells)
@@ -440,6 +444,11 @@ def build_report(
         #: decode speedup over the scalar oracle (target >= 10x on a 1M-
         #: symbol stream).  None when the caller skipped the measurement.
         "read": read_extras,
+        #: The serve saturation cell: N concurrent clients through the
+        #: ingest daemon vs the serial sum of N direct facade writes
+        #: (``ratio`` >= 1.0 is the aggregate-throughput target).  None
+        #: when the caller skipped the measurement.
+        "serve": serve_saturation,
         "strategy_choices": {
             scenario: idx[("tune", scenario, "serial")].fingerprint
             for scenario in sorted({c.scenario for c in cells})
@@ -521,6 +530,9 @@ def _parse_args(argv) -> argparse.Namespace:
                         help="absolute seconds a cell must exceed its baseline "
                              "by before the relative gate applies (noise floor "
                              "for millisecond-scale cells; default 0.05)")
+    parser.add_argument("--skip-serve", action="store_true",
+                        help="skip the serve saturation cell (concurrent "
+                             "daemon clients vs the serial facade sum)")
     parser.add_argument("--write-baseline", default=None, metavar="PATH",
                         help="write/refresh the baseline JSON and exit 0")
     return parser.parse_args(argv)
@@ -540,9 +552,14 @@ def main(argv=None) -> int:
         else None
     )
     read_extras = measure_read_extras(args.quick, repeats)
+    serve_saturation = (
+        None if args.skip_serve
+        else measure_serve_saturation(args.quick, repeats)
+    )
     report = build_report(
         cells, args.quick, repeats,
         facade_overhead=overhead, read_extras=read_extras,
+        serve_saturation=serve_saturation,
     )
 
     out_dir = args.out or results_dir()
@@ -578,6 +595,14 @@ def main(argv=None) -> int:
             f"huffman decode ({dec['nsymbols']} symbols): "
             f"vectorized {dec['vectorized_seconds']:.3f}s vs "
             f"scalar {dec['scalar_seconds']:.3f}s -> {dec['speedup']:.1f}x"
+        )
+    if report.get("serve"):
+        sv = report["serve"]
+        print(
+            f"\nserve saturation ({sv['n_clients']} clients, "
+            f"{sv['payload_mb']:.1f} MB): serial sum {sv['serial_seconds']:.3f}s, "
+            f"served {sv['served_seconds']:.3f}s -> ratio {sv['ratio']:.2f}x "
+            f"({sv['served_mbps']:.1f} MB/s aggregate)"
         )
     print(f"\nwrote {path}")
 

@@ -22,13 +22,18 @@ a private mutable copy takes one explicitly.
 The cache is bounded by a configurable byte budget
 (:func:`configure`; ``REPRO_CACHE_BYTES`` overrides the default, ``0``
 disables caching entirely) and is safe under concurrent readers: one
-lock guards the map and the hit/miss/eviction counters.
+lock guards the map and the hit/miss/eviction counters.  The environment
+variable is read **once**, when the process-wide cache is created at
+import; setting it afterwards does nothing — resize a live process with
+``repro.cache.configure(nbytes)`` instead.  A malformed value emits a
+:class:`RuntimeWarning` and falls back to the default budget.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -45,12 +50,25 @@ CacheKey = tuple[int, str, int, str]
 
 
 def _default_max_bytes() -> int:
+    """The byte budget from ``REPRO_CACHE_BYTES``, else the default.
+
+    Read once when a cache is constructed — the process-wide cache reads
+    it at import, so changing the variable afterwards has no effect; call
+    :func:`configure` to resize a live cache.  A malformed value warns
+    (it used to be swallowed silently) and falls back to the default.
+    """
     raw = os.environ.get(ENV_MAX_BYTES)
     if raw is None:
         return DEFAULT_MAX_BYTES
     try:
         return max(0, int(raw))
     except ValueError:
+        warnings.warn(
+            f"{ENV_MAX_BYTES}={raw!r} is not an integer; using the default "
+            f"budget of {DEFAULT_MAX_BYTES} bytes",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return DEFAULT_MAX_BYTES
 
 
@@ -125,8 +143,17 @@ class DecodedPartitionCache:
         Arrays larger than the whole budget are not cached (returned
         read-only anyway so caller behaviour does not depend on cache
         pressure).  Replacing an existing key updates the budget exactly.
+
+        A view over a larger base buffer is *copied* before caching:
+        storing the view would charge the budget only ``array.nbytes``
+        while the entry pins the entire base allocation alive — a small
+        slice of a huge decode could retain the whole thing unaccounted.
         """
-        frozen = array.view()
+        base_nbytes = getattr(array.base, "nbytes", None)
+        if base_nbytes is not None and array.nbytes < base_nbytes:
+            frozen = array.copy()
+        else:
+            frozen = array.view()
         frozen.flags.writeable = False
         nbytes = int(frozen.nbytes)
         with self._lock:

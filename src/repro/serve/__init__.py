@@ -1,0 +1,45 @@
+"""``repro.serve`` — the multi-tenant ingest daemon.
+
+The facade made the predictive engine callable; this package makes it
+*servable*: one :class:`~repro.serve.daemon.ReproServer` accepts
+concurrent write/append_step streams from many clients over a local
+socket, stages them into shared facade files, and coalesces compatible
+requests — the facade's ``(group, partitioning, config)`` batching is
+the compatibility key — into single collective RealDriver runs, under
+backpressure from a bounded per-tenant fair queue.
+
+Server::
+
+    repro serve --port 7707          # or ReproServer(port=7707).start()
+
+Clients::
+
+    with repro.open("out.phd5", "w", server="127.0.0.1:7707") as f:
+        ds = f.create_dataset("density", shape, error_bound=1e-3)
+        ds[my_block_region] = my_block       # staged, coalesced, landed
+"""
+
+from repro.serve.client import RemoteDataset, RemoteFile, ServeClient, open_remote
+from repro.serve.daemon import ReproServer
+from repro.serve.protocol import (
+    ConnectionClosedError,
+    ProtocolError,
+    QueueFullError,
+    RemoteOpError,
+    ServeError,
+)
+from repro.serve.queue import FairWorkQueue
+
+__all__ = [
+    "ReproServer",
+    "ServeClient",
+    "RemoteFile",
+    "RemoteDataset",
+    "open_remote",
+    "FairWorkQueue",
+    "ServeError",
+    "ProtocolError",
+    "ConnectionClosedError",
+    "QueueFullError",
+    "RemoteOpError",
+]

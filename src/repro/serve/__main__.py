@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.serve``."""
+
+from repro.serve.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,161 @@
+"""Wire protocol for the ``repro.serve`` ingest daemon.
+
+Framing is deliberately dumb: every message — request or response — is
+
+    ``[4-byte big-endian header length][JSON header][binary payload]``
+
+where the header's ``nbytes`` field (0 when absent) gives the length of
+the binary payload that follows.  Array data rides in the payload as raw
+C-contiguous bytes; the header carries ``dtype`` and ``shape`` so either
+side can reconstruct the ndarray without pickling (no code execution on
+either end of the socket, and zero-copy sends from contiguous arrays).
+
+Requests carry an ``op`` field; responses carry ``ok`` plus either the
+op-specific result fields or ``error`` / ``message`` / ``retry`` (the
+``retry`` flag marks backpressure rejections the client should back off
+and resend, as opposed to hard failures).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Bump on any incompatible header/op change; exchanged in ``hello``.
+PROTOCOL_VERSION = 1
+
+#: Sanity ceiling on the JSON header (a header this big is a framing bug).
+MAX_HEADER_BYTES = 1 << 20
+
+#: Sanity ceiling on one binary payload (one staged block / one step).
+MAX_PAYLOAD_BYTES = 1 << 31
+
+_LEN = struct.Struct(">I")
+
+
+class ServeError(ReproError):
+    """Base error for the ingest daemon and its clients."""
+
+
+class ProtocolError(ServeError):
+    """Raised on malformed frames (bad length prefix, non-JSON header)."""
+
+
+class ConnectionClosedError(ServeError):
+    """Raised when the peer closed the socket mid-frame or between frames."""
+
+
+class QueueFullError(ServeError):
+    """Raised when the server's bounded ingest queue rejected the request
+    and the client exhausted its retry budget (backpressure)."""
+
+
+class RemoteOpError(ServeError):
+    """A non-retryable error the server reported for one request."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`ConnectionClosedError`."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosedError(
+                f"peer closed the connection with {remaining}/{n} bytes pending"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(
+    sock: socket.socket, header: dict, payload: "bytes | memoryview | None" = None
+) -> None:
+    """Send one frame; ``header['nbytes']`` is set from ``payload``."""
+    header = dict(header)
+    header["nbytes"] = 0 if payload is None else len(payload)
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(raw) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header too large ({len(raw)} bytes)")
+    sock.sendall(_LEN.pack(len(raw)) + raw)
+    if payload is not None and len(payload):
+        sock.sendall(payload)
+
+
+def recv_frame(sock: socket.socket) -> tuple[dict, bytes]:
+    """Receive one ``(header, payload)`` frame.
+
+    Raises :class:`ConnectionClosedError` on EOF (clean between frames or
+    torn mid-frame) and :class:`ProtocolError` on malformed data.
+    """
+    (n,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if n == 0 or n > MAX_HEADER_BYTES:
+        raise ProtocolError(f"implausible header length {n}")
+    try:
+        header = json.loads(_recv_exact(sock, n).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame header: {exc}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError(f"frame header must be an object, got {type(header).__name__}")
+    nbytes = int(header.get("nbytes", 0))
+    if not 0 <= nbytes <= MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"implausible payload length {nbytes}")
+    payload = _recv_exact(sock, nbytes) if nbytes else b""
+    return header, payload
+
+
+# ---------------------------------------------------------------------------
+# Array packing
+# ---------------------------------------------------------------------------
+
+def array_meta(arr: np.ndarray) -> dict:
+    """Header fields describing one array payload."""
+    return {"dtype": arr.dtype.str, "shape": list(arr.shape)}
+
+
+def pack_array(arr: np.ndarray) -> "tuple[dict, memoryview]":
+    """``(meta, payload)`` for one array; zero-copy when contiguous."""
+    arr = np.ascontiguousarray(arr)
+    return array_meta(arr), memoryview(arr).cast("B")
+
+
+def unpack_array(meta: dict, payload: "bytes | memoryview") -> np.ndarray:
+    """Reconstruct the array a peer packed with :func:`pack_array`."""
+    try:
+        dtype = np.dtype(meta["dtype"])
+        shape = tuple(int(s) for s in meta["shape"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed array metadata {meta!r}: {exc}") from None
+    expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64)) if shape else dtype.itemsize
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"array payload is {len(payload)} bytes, expected {expected} "
+            f"for dtype={dtype.str} shape={shape}"
+        )
+    return np.frombuffer(payload, dtype=dtype).reshape(shape)
+
+
+def error_response(kind: str, message: str, retry: bool = False) -> dict:
+    """A failure response header."""
+    return {"ok": False, "error": kind, "message": message, "retry": retry}
+
+
+def raise_for_response(header: dict) -> dict:
+    """Return a successful response header or raise the matching error."""
+    if header.get("ok"):
+        return header
+    kind = header.get("error", "ServeError")
+    message = header.get("message", "request failed")
+    if header.get("retry"):
+        raise QueueFullError(message)
+    raise RemoteOpError(kind, message)

@@ -1,0 +1,125 @@
+"""Bounded multi-tenant work queue with round-robin fairness.
+
+The daemon's backpressure lives here.  Every tenant (one per client
+``hello``) gets its own FIFO with a hard depth cap; the single writer
+thread drains tenants round-robin, one item per turn, so a flooding
+tenant can delay its *own* work but never starve anyone else's.  When a
+tenant's FIFO is full — or the whole queue hits its aggregate cap — the
+enqueue is rejected immediately with :class:`QueueFullError`; the server
+turns that into a retryable wire response and the client backs off.
+
+Control items (``flush`` / ``close`` / connection release) bypass the
+depth caps (``force=True``): they are rare, small, and refusing them
+would wedge the drain path that empties the queue.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+from repro.serve.protocol import QueueFullError, ServeError
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Point-in-time snapshot of queue behaviour."""
+
+    depth: int
+    tenants: int
+    enqueued: int
+    rejected: int
+    per_tenant_depth: dict
+
+    def to_json(self) -> dict:
+        return {
+            "depth": self.depth,
+            "tenants": self.tenants,
+            "enqueued": self.enqueued,
+            "rejected": self.rejected,
+            "per_tenant_depth": dict(self.per_tenant_depth),
+        }
+
+
+class FairWorkQueue:
+    """Per-tenant bounded FIFOs drained round-robin by one consumer."""
+
+    def __init__(self, tenant_depth: int = 64, total_depth: int = 1024) -> None:
+        if tenant_depth <= 0 or total_depth <= 0:
+            raise ServeError("queue depths must be positive")
+        self.tenant_depth = int(tenant_depth)
+        self.total_depth = int(total_depth)
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._queues: "OrderedDict[str, deque]" = OrderedDict()
+        self._rr: "deque[str]" = deque()  # round-robin tenant rotation
+        self._depth = 0
+        self._enqueued = 0
+        self._rejected = 0
+        self._closed = False
+
+    def put(self, tenant: str, item, *, force: bool = False) -> None:
+        """Enqueue ``item`` for ``tenant``; rejects at the caps unless forced."""
+        with self._lock:
+            if self._closed:
+                raise ServeError("queue is closed (server shutting down)")
+            q = self._queues.get(tenant)
+            if q is None:
+                q = self._queues[tenant] = deque()
+                self._rr.append(tenant)
+            if not force and (
+                len(q) >= self.tenant_depth or self._depth >= self.total_depth
+            ):
+                self._rejected += 1
+                scope = "tenant" if len(q) >= self.tenant_depth else "server"
+                raise QueueFullError(
+                    f"{scope} ingest queue is full "
+                    f"(tenant {tenant!r}: {len(q)}/{self.tenant_depth}, "
+                    f"total: {self._depth}/{self.total_depth}); retry later"
+                )
+            q.append(item)
+            self._depth += 1
+            self._enqueued += 1
+            self._ready.notify()
+
+    def requeue(self, tenant: str, item) -> None:
+        """Push a deferred control item back to its tenant's tail (forced)."""
+        self.put(tenant, item, force=True)
+
+    def get(self, timeout: "float | None" = None):
+        """Next ``(tenant, item)`` in round-robin order, or None on timeout
+        (and immediately None once closed *and* drained)."""
+        with self._lock:
+            while True:
+                for _ in range(len(self._rr)):
+                    tenant = self._rr[0]
+                    self._rr.rotate(-1)
+                    q = self._queues.get(tenant)
+                    if q:
+                        self._depth -= 1
+                        return tenant, q.popleft()
+                if self._closed:
+                    return None
+                if not self._ready.wait(timeout=timeout):
+                    return None
+
+    def close(self) -> None:
+        """Refuse new work; :meth:`get` drains what remains, then None."""
+        with self._lock:
+            self._closed = True
+            self._ready.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def stats(self) -> QueueStats:
+        with self._lock:
+            return QueueStats(
+                depth=self._depth,
+                tenants=len(self._queues),
+                enqueued=self._enqueued,
+                rejected=self._rejected,
+                per_tenant_depth={t: len(q) for t, q in self._queues.items() if q},
+            )

@@ -7,6 +7,7 @@ CLI it names — so ``repro bench --quick`` is exactly
     repro bench   [args...]   # microbenchmark suite + perf-regression gate
     repro verify  [args...]   # round-trip certification / parity / fuzzing
     repro inspect [args...]   # PHD5 container inspector (ls/stat/dump/...)
+    repro serve   [args...]   # multi-tenant ingest daemon (+ --smoke gate)
 
 Registered in ``setup.py`` as ``console_scripts: repro=repro.tools.main:main``.
 """
@@ -18,12 +19,13 @@ import sys
 from repro._version import __version__
 
 _USAGE = """\
-usage: repro [-h | --version] {bench,verify,inspect} [args...]
+usage: repro [-h | --version] {bench,verify,inspect,serve} [args...]
 
 subcommands:
   bench    executor microbenchmark suite (python -m repro.bench)
   verify   end-to-end verification suite (python -m repro.verify)
   inspect  PHD5 container inspector      (python -m repro.tools.inspect)
+  serve    multi-tenant ingest daemon    (python -m repro.serve)
 
 run `repro <subcommand> --help` for that tool's options.
 """
@@ -51,6 +53,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.tools.inspect import main as inspect_main
 
         return inspect_main(rest)
+    if command == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(rest)
     print(f"repro: unknown subcommand {command!r}\n\n{_USAGE}", file=sys.stderr, end="")
     return 2
 

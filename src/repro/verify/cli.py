@@ -21,6 +21,10 @@ Four pillars, one schema-versioned artifact:
    read-side route (cached, executor-parallel decode, >=4 concurrent
    readers, sub-regions) fingerprinted against the cold serial read;
    any divergence fails the run (see :mod:`repro.verify.readpath`).
+5. **Served-write parity** — three scenario regimes written by 4
+   concurrent clients through an in-process ``repro.serve`` daemon must
+   be byte-identical to the direct facade file and independently
+   certify (see :mod:`repro.verify.served`).
 
 Usage::
 
@@ -41,7 +45,6 @@ import os
 import tempfile
 
 from repro.bench.harness import format_table, results_dir
-from repro.core.config import EXTRA_SPACE_MIN, PipelineConfig
 from repro.core.scenarios import get_scenario, scenario_names
 from repro.core.strategy import registered_strategies
 from repro.exec import EXECUTOR_NAMES
@@ -50,24 +53,13 @@ from repro.verify.fuzz import fuzz
 from repro.verify.parity import CANONICAL_SCENARIO, differential_parity
 from repro.verify.readpath import run_read_parity
 from repro.verify.report import build_report, save_report
+from repro.verify.served import SERVE_SCENARIOS, run_serve_parity
 from repro.verify.workloads import (
     reference_fields,
+    scenario_config as _scenario_config,
     write_scenario_file,
     write_scenario_file_facade,
 )
-
-
-def _scenario_config(scenario_name: str) -> PipelineConfig:
-    """Per-scenario pipeline config for the certification matrix.
-
-    Overflow-pressure regimes run at the tightest supported extra-space
-    ratio so slots genuinely overflow and the certified read path has to
-    reassemble tails.
-    """
-    sc = get_scenario(scenario_name)
-    if sc.overflow_pressure:
-        return PipelineConfig(extra_space_ratio=EXTRA_SPACE_MIN)
-    return PipelineConfig()
 
 
 def run_certification(
@@ -138,6 +130,9 @@ def _parse_args(argv) -> argparse.Namespace:
     parser.add_argument("--skip-read-parity", action="store_true",
                         help="skip the read-route parity pillar (cached / "
                              "parallel / concurrent reads vs cold serial)")
+    parser.add_argument("--skip-serve", action="store_true",
+                        help="skip the served-write parity pillar (concurrent "
+                             "daemon clients vs the direct facade)")
     parser.add_argument("--skip-facade", action="store_true",
                         help="skip the repro.open facade certification cells")
     parser.add_argument("--skip-codecs", action="store_true",
@@ -183,10 +178,17 @@ def main(argv=None) -> int:
         if args.skip_read_parity
         else run_read_parity(scenarios, strategy=strategy, seed=args.seed)
     )
+    serve_scenarios = [s for s in SERVE_SCENARIOS if s in scenarios]
+    serve_parity = (
+        None
+        if args.skip_serve or not serve_scenarios
+        else run_serve_parity(serve_scenarios, strategy=strategy, seed=args.seed)
+    )
 
     report = build_report(
         certifications, parity, codecs, fuzz_report,
         quick=args.quick, seed=args.seed, read_parity=read_parity,
+        serve_parity=serve_parity,
     )
     out_dir = args.out or results_dir()
     path = save_report(report, out_dir)
@@ -215,6 +217,13 @@ def main(argv=None) -> int:
         routes = sorted({c.route for rp in read_parity.values() for c in rp.cells})
         state = "identical" if not bad else f"DIVERGENT {bad}"
         print(f"read parity ({', '.join(routes)}) x {len(read_parity)} scenarios: {state}")
+    if serve_parity is not None:
+        bad = [k for k, sp in serve_parity.items() if not sp.passed]
+        state = "byte-identical + certified" if not bad else f"FAILED {bad}"
+        print(
+            f"serve parity ({len(serve_parity)} scenarios x "
+            f"{next(iter(serve_parity.values())).n_clients} clients): {state}"
+        )
     if fuzz_report is not None:
         print(
             f"fuzz: {len(fuzz_report.cases)} cases, "

@@ -19,11 +19,14 @@ from repro.verify.certify import CertificationReport, CodecCertificate
 from repro.verify.fuzz import FuzzReport
 from repro.verify.parity import ParityResult
 from repro.verify.readpath import ReadParityResult
+from repro.verify.served import ServeParityResult
 
 #: Verify artifact schema (bump on any shape change).
 #: v2: added the ``read_parity`` pillar (cached / parallel / concurrent
 #: read routes fingerprinted against cold serial).
-SCHEMA = "repro-verify/2"
+#: v3: added the ``serve_parity`` pillar (N concurrent clients through the
+#: ingest daemon vs the direct facade: byte-identical + certified).
+SCHEMA = "repro-verify/3"
 
 
 def build_report(
@@ -34,6 +37,7 @@ def build_report(
     quick: bool,
     seed: int,
     read_parity: "Mapping[str, ReadParityResult] | None" = None,
+    serve_parity: "Mapping[str, ServeParityResult] | None" = None,
 ) -> dict:
     """Assemble the schema-versioned artifact from the pillar results.
 
@@ -74,6 +78,14 @@ def build_report(
                 )
             for err in rp.errors:
                 failures.append(f"read parity {key}: {err}")
+    if serve_parity is not None:
+        for key, sp in sorted(serve_parity.items()):
+            for err in sp.errors:
+                failures.append(f"serve parity {key}: {err}")
+            if sp.certification is not None and not sp.certification.passed:
+                failures.append(
+                    f"serve parity {key}: served file failed certification"
+                )
     return {
         "schema": SCHEMA,
         "git_sha": git_sha(),
@@ -90,6 +102,11 @@ def build_report(
         "read_parity": (
             {k: v.to_json() for k, v in sorted(read_parity.items())}
             if read_parity is not None
+            else None
+        ),
+        "serve_parity": (
+            {k: v.to_json() for k, v in sorted(serve_parity.items())}
+            if serve_parity is not None
             else None
         ),
         "codecs": [c.to_json() for c in codecs] if codecs is not None else None,

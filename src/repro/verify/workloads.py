@@ -12,12 +12,25 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.config import PipelineConfig
+from repro.core.config import EXTRA_SPACE_MIN, PipelineConfig
 from repro.core.pipeline import RankWriteStats, RealDriver
-from repro.core.scenarios import ScenarioArrays
+from repro.core.scenarios import ScenarioArrays, get_scenario
 from repro.exec import Executor
 from repro.hdf5.file import File
 from repro.hdf5.properties import FileAccessProps
+
+
+def scenario_config(scenario_name: str) -> PipelineConfig:
+    """Per-scenario pipeline config for the certification matrices.
+
+    Overflow-pressure regimes run at the tightest supported extra-space
+    ratio so slots genuinely overflow and the certified read path has to
+    reassemble tails.
+    """
+    sc = get_scenario(scenario_name)
+    if sc.overflow_pressure:
+        return PipelineConfig(extra_space_ratio=EXTRA_SPACE_MIN)
+    return PipelineConfig()
 
 
 def write_scenario_file(

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import gc
 import threading
+import weakref
 
 import numpy as np
 import pytest
@@ -71,6 +73,33 @@ class TestLRUSemantics:
         assert s.current_bytes == 64
         assert c.get(_key(1))[0] == 2.0
 
+    def test_caching_a_view_does_not_pin_its_base(self):
+        # Regression: put() used to store a *view* of the passed array,
+        # charging the budget only the view's nbytes while the entry kept
+        # the entire base buffer alive — caching a 64-byte slice of a
+        # multi-megabyte decode retained all of it, unaccounted.
+        c = DecodedPartitionCache(max_bytes=1 << 20)
+        big = np.zeros(1 << 18, dtype=np.float64)  # 2 MiB base buffer
+        base_ref = weakref.ref(big)
+        c.put(_key(1), big[:8])  # 64-byte slice
+        assert c.stats().current_bytes == 64
+        del big
+        gc.collect()
+        assert base_ref() is None, (
+            "cache entry pinned the whole base buffer of a small view"
+        )
+        got = c.get(_key(1))
+        assert got is not None and got.nbytes == 64
+
+    def test_whole_array_view_is_not_copied(self):
+        # A view spanning its entire base (e.g. a reshape) carries no
+        # hidden retention, so put() may store it zero-copy.
+        c = DecodedPartitionCache(max_bytes=1024)
+        flat = np.zeros(16, dtype=np.float64)
+        cube = flat.reshape(4, 4)  # full-base view
+        stored = c.put(_key(1), cube)
+        assert stored.base is flat or stored.base is cube.base
+
 
 class TestInvalidation:
     def test_by_partition_dataset_and_file(self):
@@ -127,9 +156,19 @@ class TestConfiguration:
         monkeypatch.setenv(ENV_MAX_BYTES, "0")
         assert not DecodedPartitionCache().enabled
         monkeypatch.setenv(ENV_MAX_BYTES, "not-a-number")
-        assert _default_max_bytes() == DEFAULT_MAX_BYTES
+        with pytest.warns(RuntimeWarning, match=ENV_MAX_BYTES):
+            assert _default_max_bytes() == DEFAULT_MAX_BYTES
         monkeypatch.delenv(ENV_MAX_BYTES)
         assert _default_max_bytes() == DEFAULT_MAX_BYTES
+
+    def test_malformed_env_warns_instead_of_silent_fallback(self, monkeypatch):
+        # Regression: a typo'd REPRO_CACHE_BYTES used to be swallowed
+        # silently, leaving the operator convinced they had resized the
+        # cache when nothing changed.
+        monkeypatch.setenv(ENV_MAX_BYTES, "256MiB")
+        with pytest.warns(RuntimeWarning, match="256MiB"):
+            c = DecodedPartitionCache()
+        assert c.max_bytes == DEFAULT_MAX_BYTES
 
     def test_global_singleton(self):
         assert get_cache() is get_cache()
@@ -195,3 +234,46 @@ class TestThreadSafety:
         assert s.current_bytes <= s.max_bytes
         assert s.entries == len(c)
         assert s.current_bytes == s.entries * 64
+
+    def test_put_invalidate_race_on_same_key_keeps_accounting_exact(self):
+        # Half the threads hammer put() on one contended key (plus a few
+        # satellites), the other half invalidate() it; afterwards
+        # current_bytes must equal the byte-sum of the entries that
+        # actually survived — the invariant that catches lost or
+        # double-counted budget updates under the race.
+        c = DecodedPartitionCache(max_bytes=64 * 1024)
+        hot = _key(9, "/hot", 0)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def putter(tid: int) -> None:
+            try:
+                for i in range(400):
+                    c.put(hot, _arr(64, float(tid)))
+                    c.put(_key(9, "/warm", i % 8), _arr(32))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def invalidator() -> None:
+            try:
+                while not stop.is_set():
+                    c.invalidate(9, "/hot", 0)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        putters = [threading.Thread(target=putter, args=(t,)) for t in range(4)]
+        killers = [threading.Thread(target=invalidator) for _ in range(4)]
+        for t in putters + killers:
+            t.start()
+        for t in putters:
+            t.join()
+        stop.set()
+        for t in killers:
+            t.join()
+        assert not errors
+        s = c.stats()
+        surviving = (64 if c.get(hot) is not None else 0) + sum(
+            32 for i in range(8) if c.get(_key(9, "/warm", i)) is not None
+        )
+        assert s.current_bytes == surviving
+        assert s.entries == len(c)

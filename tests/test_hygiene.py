@@ -1,0 +1,48 @@
+"""Repository hygiene guards.
+
+A stale compiled module is a silent source of wrong behaviour: a
+``.pyc`` whose ``.py`` was deleted (or never committed) can keep an old
+implementation importable — Python happily loads sourceless bytecode
+placed next to real modules, and a leftover ``__pycache__`` entry from a
+renamed module survives checkouts on machines that never clean.  These
+tests fail the suite the moment either appears under ``src/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+
+def _module_source_exists(pyc: pathlib.Path) -> bool:
+    """True when the ``.pyc`` corresponds to a ``.py`` that still exists."""
+    if pyc.parent.name == "__pycache__":
+        # __pycache__/name.cpython-XY.pyc -> ../name.py
+        stem = pyc.name.split(".")[0]
+        return (pyc.parent.parent / f"{stem}.py").exists()
+    # Sourceless bytecode placed directly next to modules: name.pyc -> name.py
+    return pyc.with_suffix(".py").exists()
+
+
+def test_no_pyc_is_importable_without_source():
+    orphans = sorted(
+        str(p.relative_to(SRC))
+        for p in SRC.rglob("*.pyc")
+        if not _module_source_exists(p)
+    )
+    assert not orphans, (
+        "compiled modules without a matching .py source under src/ "
+        f"(stale bytecode would shadow real code): {orphans}"
+    )
+
+
+def test_no_sourceless_bytecode_outside_pycache():
+    # Even with a matching .py, a .pyc sitting *outside* __pycache__ takes
+    # import precedence in sourceless layouts and never invalidates.
+    strays = sorted(
+        str(p.relative_to(SRC))
+        for p in SRC.rglob("*.pyc")
+        if p.parent.name != "__pycache__"
+    )
+    assert not strays, f"bytecode files outside __pycache__ under src/: {strays}"
